@@ -1,0 +1,176 @@
+//! Criterion micro-benchmarks for the extension subsystems: the
+//! probabilistic skyline (§5 future work), expected-rank semantics [19],
+//! the EVQL front end, and the ingest index.
+//!
+//! The skyline group doubles as an ablation: the 2-D staircase path of
+//! `prob_dominated` vs direct support-grid enumeration shows why the
+//! staircase form matters once point sets grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use everest_core::dist::DiscreteDist;
+use everest_core::semantics::{expected_rank_topk, expected_ranks};
+use everest_core::skyline::{
+    dominates, prob_dominated, skyline_of, skyline_state, VectorRelation,
+};
+use everest_core::xtuple::UncertainRelation;
+use everest_evql::{analyze_select, parse, SessionSettings};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const MAX_B: usize = 16;
+
+fn random_vector_relation(n: usize, seed: u64) -> VectorRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = VectorRelation::new(vec![MAX_B, MAX_B]);
+    for _ in 0..n {
+        let mut dims = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let center: f64 = rng.gen_range(0.0..MAX_B as f64);
+            let width: f64 = rng.gen_range(0.4..1.5);
+            let masses: Vec<f64> = (0..=MAX_B)
+                .map(|b| (-((b as f64 - center) / width).powi(2)).exp() + 1e-9)
+                .collect();
+            dims.push(DiscreteDist::from_masses(&masses));
+        }
+        rel.push_uncertain(dims);
+    }
+    // a few certain points to give the skyline a staircase
+    for _ in 0..12 {
+        rel.push_certain(&[
+            rng.gen_range(0..=MAX_B as u32),
+            rng.gen_range(0..=MAX_B as u32),
+        ]);
+    }
+    rel
+}
+
+fn random_points(s: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..s)
+        .map(|_| vec![rng.gen_range(0..=MAX_B as u32), rng.gen_range(0..=MAX_B as u32)])
+        .collect()
+}
+
+/// Direct grid enumeration — the baseline the staircase path replaces.
+fn prob_dominated_grid_2d(rel: &VectorRelation, u: usize, points: &[Vec<u32>]) -> f64 {
+    let mut total = 0.0;
+    for x in 0..=MAX_B as u32 {
+        let px = rel.dim_pmf(u, 0, x as usize);
+        if px == 0.0 {
+            continue;
+        }
+        for y in 0..=MAX_B as u32 {
+            let py = rel.dim_pmf(u, 1, y as usize);
+            if py > 0.0 && points.iter().any(|p| dominates(p, &[x, y])) {
+                total += px * py;
+            }
+        }
+    }
+    total
+}
+
+fn bench_skyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skyline");
+    let rel = random_vector_relation(512, 11);
+    for &s in &[4usize, 16, 64] {
+        let points = random_points(s, 23);
+        group.bench_with_input(BenchmarkId::new("staircase", s), &s, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for u in 0..64 {
+                    acc += prob_dominated(&rel, u, black_box(&points));
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("grid_enum", s), &s, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for u in 0..64 {
+                    acc += prob_dominated_grid_2d(&rel, u, black_box(&points));
+                }
+                black_box(acc)
+            })
+        });
+    }
+    for &n in &[256usize, 1024] {
+        let rel = random_vector_relation(n, 31);
+        group.bench_with_input(BenchmarkId::new("state", n), &n, |b, _| {
+            b.iter(|| black_box(skyline_state(black_box(&rel)).confidence))
+        });
+    }
+    // certain-set skyline itself
+    let mut rng = StdRng::seed_from_u64(5);
+    let vectors: Vec<(usize, Vec<u32>)> = (0..2_000)
+        .map(|i| (i, vec![rng.gen_range(0..400u32), rng.gen_range(0..400u32)]))
+        .collect();
+    group.bench_function("skyline_of_2000", |b| {
+        b.iter(|| black_box(skyline_of(black_box(&vectors)).len()))
+    });
+    group.finish();
+}
+
+fn random_relation(n: usize, seed: u64) -> UncertainRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rel = UncertainRelation::new(1.0, MAX_B);
+    for _ in 0..n {
+        let center: f64 = rng.gen_range(0.0..MAX_B as f64);
+        let masses: Vec<f64> =
+            (0..=MAX_B).map(|b| (-((b as f64 - center) / 1.2).powi(2)).exp() + 1e-9).collect();
+        rel.push_uncertain(DiscreteDist::from_masses(&masses));
+    }
+    rel
+}
+
+fn bench_expected_ranks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expected_ranks");
+    for &n in &[1_000usize, 10_000] {
+        let rel = random_relation(n, 3);
+        group.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter(|| black_box(expected_ranks(black_box(&rel)).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("topk_50", n), &n, |b, _| {
+            b.iter(|| black_box(expected_rank_topk(black_box(&rel), 50).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evql_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evql");
+    let queries = [
+        "SELECT TOP 50 FRAMES FROM Taipei-bus WITH CONFIDENCE 0.9",
+        "SELECT TOP 10 WINDOWS OF 150 FRAMES SLIDE 30 FROM Grand-Canal \
+         SCORE count(boat) USING everest WITH CONFIDENCE 0.95, SEED 7, BATCH 4",
+        "EXPLAIN SELECT TOP 5 FRAMES FROM Dashcam-California SCORE tailgating() \
+         WITH STEP 0.25",
+    ];
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(parse(black_box(q)).unwrap());
+            }
+        })
+    });
+    let settings = SessionSettings::default();
+    let stmts: Vec<_> = queries
+        .iter()
+        .filter_map(|q| match parse(q).unwrap() {
+            everest_evql::ast::Statement::Select(s)
+            | everest_evql::ast::Statement::Explain(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    group.bench_function("analyze", |b| {
+        b.iter(|| {
+            for s in &stmts {
+                black_box(analyze_select(black_box(s), &settings).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_skyline, bench_expected_ranks, bench_evql_frontend);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # everest-bench — experiment harness
+//!
+//! Shared helpers for the experiment binaries (one per table/figure of the
+//! paper) and the criterion micro-benchmarks. See `src/bin/` for the
+//! regeneration targets and `benches/` for the kernels.
+
+pub mod harness;

@@ -1,0 +1,403 @@
+//! Phase 2: Top-K processing via online, oracle-in-the-loop uncertain data
+//! cleaning (§3.3, Figure 1 right).
+//!
+//! Starting from the Phase-1 uncertain relation, the cleaner repeatedly
+//! (i) extracts the Top-K of the *certain* subset (certain-result
+//! condition), (ii) evaluates its confidence `p̂` with `Topk-prob`, and
+//! (iii) if `p̂ < thres`, asks `Select-candidate` for the most promising
+//! batch of uncertain items and confirms their exact scores with the
+//! oracle. Termination is guaranteed: cleaning strictly shrinks the
+//! uncertain set and a fully-certain relation has confidence 1.
+
+use crate::select::{CandidateSelector, SelectStats};
+use crate::topkprob::{topk_prob, JointCdf};
+use crate::xtuple::{ItemId, UncertainRelation};
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Resolves an item's exact score bucket (by running the expensive oracle).
+///
+/// Frame-level queries clean one frame per item; window queries sample a
+/// fraction of the window's frames (§3.4). Implementations track their own
+/// oracle-invocation counts for cost accounting.
+pub trait CleaningOracle {
+    /// Exact buckets for `items`, in order.
+    fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32>;
+}
+
+/// A `CleaningOracle` backed by a closure (used by tests and simple setups).
+pub struct FnCleaningOracle<F: FnMut(ItemId) -> u32>(pub F);
+
+impl<F: FnMut(ItemId) -> u32> CleaningOracle for FnCleaningOracle<F> {
+    fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32> {
+        items.iter().map(|&i| (self.0)(i)).collect()
+    }
+}
+
+/// Phase-2 configuration.
+#[derive(Debug, Clone)]
+pub struct CleanerConfig {
+    /// Result size K (default 50, the paper's default query).
+    pub k: usize,
+    /// Probability threshold `thres` (default 0.9).
+    pub thres: f64,
+    /// Batch-inference size `b` (§3.5; the paper measures b = 8 on their GPU).
+    pub batch_size: usize,
+    /// ψ re-sort period for the first 100 iterations (§3.3.2; 10).
+    pub resort_period: usize,
+    /// Optional hard cap on cleanings (diagnostics only; `None` = run to
+    /// the guarantee). A cap is enforced strictly — it bounds the
+    /// bootstrap too, so a capped run may return *fewer than K* items
+    /// (with `converged = false`).
+    pub max_cleanings: Option<usize>,
+}
+
+impl Default for CleanerConfig {
+    fn default() -> Self {
+        CleanerConfig {
+            k: 50,
+            thres: 0.9,
+            batch_size: 8,
+            resort_period: 10,
+            max_cleanings: None,
+        }
+    }
+}
+
+/// Result of a Phase-2 run.
+#[derive(Debug, Clone)]
+pub struct CleanOutcome {
+    /// The Top-K item ids, ordered by (bucket desc, id asc). All certain.
+    pub topk: Vec<ItemId>,
+    /// Final confidence `p̂ = Pr(R̂ = R)` under PWS.
+    pub confidence: f64,
+    /// Select-clean iterations executed.
+    pub iterations: usize,
+    /// Items cleaned during Phase 2 (excludes items certain on entry).
+    pub cleaned: usize,
+    /// Whether the confidence target was met (false only under
+    /// `max_cleanings`).
+    pub converged: bool,
+    /// Wall-clock time spent inside `Select-candidate`.
+    pub select_time: Duration,
+    /// Selector statistics (examined counts, resorts).
+    pub select_stats: SelectStats,
+}
+
+/// Runs Phase 2 to completion.
+///
+/// Panics if the relation has fewer than `k` items.
+pub fn run_cleaner(
+    rel: &mut UncertainRelation,
+    oracle: &mut dyn CleaningOracle,
+    cfg: &CleanerConfig,
+) -> CleanOutcome {
+    assert!(cfg.k >= 1, "K must be at least 1");
+    assert!((0.0..=1.0).contains(&cfg.thres), "thres must be a probability");
+    assert!(cfg.batch_size >= 1);
+    assert!(
+        rel.len() >= cfg.k,
+        "relation has {} items but K = {}",
+        rel.len(),
+        cfg.k
+    );
+
+    let mut h = JointCdf::build(rel);
+    let mut selector = CandidateSelector::new(rel, cfg.resort_period);
+    // Certain items ordered by (bucket desc, id asc).
+    let mut certain: BTreeSet<(Reverse<u32>, ItemId)> = (0..rel.len())
+        .filter_map(|id| rel.certain_bucket(id).map(|b| (Reverse(b), id)))
+        .collect();
+
+    let mut iterations = 0usize;
+    let mut cleaned = 0usize;
+    let mut select_time = Duration::ZERO;
+    let max_bucket = rel.max_bucket();
+
+    let mut clean_items = |items: &[ItemId],
+                           rel: &mut UncertainRelation,
+                           h: &mut JointCdf,
+                           certain: &mut BTreeSet<(Reverse<u32>, ItemId)>| {
+        let buckets = oracle.clean_batch(items);
+        for (&id, &b) in items.iter().zip(buckets.iter()) {
+            let old = rel.clean(id, b);
+            h.remove(&old);
+            certain.insert((Reverse(b), id));
+        }
+    };
+
+    loop {
+        // Remaining cleaning budget under `max_cleanings` (None = unlimited).
+        let budget = cfg.max_cleanings.map(|m| m.saturating_sub(cleaned));
+
+        // Bootstrap: the certain-result condition needs ≥ K certain items.
+        if certain.len() < cfg.k {
+            if budget == Some(0) {
+                // Out of budget before the answer even exists: return the
+                // certain items we have (fewer than K), non-converged.
+                let topk = certain.iter().take(cfg.k).map(|&(_, id)| id).collect();
+                return CleanOutcome {
+                    topk,
+                    confidence: 0.0,
+                    iterations,
+                    cleaned,
+                    converged: false,
+                    select_time,
+                    select_stats: selector.stats,
+                };
+            }
+            let mut by_mean: Vec<ItemId> = rel.uncertain_ids();
+            by_mean.sort_by(|&a, &b| {
+                rel.mean_bucket(b)
+                    .partial_cmp(&rel.mean_bucket(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let need = (cfg.k - certain.len())
+                .min(by_mean.len())
+                .min(budget.unwrap_or(usize::MAX));
+            assert!(need > 0, "cannot reach K certain items");
+            let batch: Vec<ItemId> = by_mean.into_iter().take(need).collect();
+            clean_items(&batch, rel, &mut h, &mut certain);
+            cleaned += batch.len();
+            iterations += 1;
+            continue;
+        }
+
+        // Threshold frame k_i and penultimate frame p_i from the certain set.
+        let top: Vec<(Reverse<u32>, ItemId)> =
+            certain.iter().take(cfg.k).copied().collect();
+        let s_k = top[cfg.k - 1].0 .0 as usize;
+        let s_p = if cfg.k >= 2 { top[cfg.k - 2].0 .0 as usize } else { max_bucket };
+
+        let confidence = topk_prob(&h, s_k);
+        let done = confidence >= cfg.thres || h.members() == 0 || budget == Some(0);
+        if done {
+            let topk = top.into_iter().map(|(_, id)| id).collect();
+            return CleanOutcome {
+                topk,
+                confidence: if h.members() == 0 { 1.0 } else { confidence },
+                iterations,
+                cleaned,
+                converged: confidence >= cfg.thres || h.members() == 0,
+                select_time,
+                select_stats: selector.stats,
+            };
+        }
+
+        // Select and clean the next batch (clamped to the budget).
+        let started = Instant::now();
+        let batch_size = cfg
+            .batch_size
+            .min(rel.num_uncertain())
+            .min(budget.unwrap_or(usize::MAX));
+        let batch = selector.select_batch(rel, &h, s_k, s_p, batch_size);
+        select_time += started.elapsed();
+        debug_assert!(!batch.is_empty());
+        clean_items(&batch, rel, &mut h, &mut certain);
+        cleaned += batch.len();
+        iterations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DiscreteDist;
+    use crate::pws::topk_confidence_bruteforce;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds a relation whose uncertain distributions are noisy views of
+    /// `truth`, plus an oracle that reveals the truth.
+    fn noisy_relation(
+        truth: &[u32],
+        max_bucket: usize,
+        certain_seed: usize,
+        seed: u64,
+    ) -> (UncertainRelation, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rel = UncertainRelation::new(1.0, max_bucket);
+        for (i, &t) in truth.iter().enumerate() {
+            if i < certain_seed {
+                rel.push_certain(t);
+            } else {
+                // triangular noise around the truth
+                let mut masses = vec![0.0; max_bucket + 1];
+                for db in -2i64..=2 {
+                    let b = (t as i64 + db).clamp(0, max_bucket as i64) as usize;
+                    masses[b] += match db.abs() {
+                        0 => 0.4,
+                        1 => 0.2,
+                        _ => 0.1,
+                    } * rng.gen_range(0.5..1.5);
+                }
+                rel.push_uncertain(DiscreteDist::from_masses(&masses));
+            }
+        }
+        (rel, truth.to_vec())
+    }
+
+    #[test]
+    fn converges_and_returns_certain_topk() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let truth: Vec<u32> = (0..200).map(|_| rng.gen_range(0..=10)).collect();
+        let (mut rel, t) = noisy_relation(&truth, 10, 20, 2);
+        let mut oracle = FnCleaningOracle(|id| t[id]);
+        let cfg = CleanerConfig { k: 5, thres: 0.9, ..Default::default() };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        assert!(out.converged);
+        assert!(out.confidence >= 0.9);
+        assert_eq!(out.topk.len(), 5);
+        // certain-result condition
+        for &id in &out.topk {
+            assert!(rel.is_certain(id), "answer item {id} is not certain");
+        }
+        // every answer's exact bucket must be ≥ the threshold bucket
+        let buckets: Vec<u32> =
+            out.topk.iter().map(|&id| rel.certain_bucket(id).unwrap()).collect();
+        assert!(buckets.windows(2).all(|w| w[0] >= w[1]), "not sorted: {buckets:?}");
+    }
+
+    #[test]
+    fn confidence_matches_bruteforce_on_small_relation() {
+        let truth: Vec<u32> = vec![3, 1, 4, 0, 2, 4, 1, 3];
+        let (mut rel, t) = noisy_relation(&truth, 4, 2, 3);
+        let mut oracle = FnCleaningOracle(|id| t[id]);
+        let cfg = CleanerConfig { k: 2, thres: 0.8, batch_size: 1, ..Default::default() };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        let brute = topk_confidence_bruteforce(&rel, &out.topk, 2);
+        assert!(
+            (out.confidence - brute).abs() < 1e-9,
+            "fast {} vs brute {brute}",
+            out.confidence
+        );
+        assert!(out.confidence >= 0.8);
+    }
+
+    #[test]
+    fn answer_is_correct_when_proxy_is_wrong() {
+        // Proxy says item 0 is probably low (but keeps calibrated tail
+        // mass) and item 1 is high; truth is reversed. A high threshold
+        // must force both to be cleaned, surfacing the true top item.
+        // (If the proxy put *zero* mass on the truth, PWS would rightly be
+        // confident in the wrong answer — the guarantee is conditional on
+        // the proxy's distributions not assigning zero to reality.)
+        let mut rel = UncertainRelation::new(1.0, 5);
+        let truth: Vec<u32> = vec![5, 0, 1, 1, 2, 2, 3, 1, 0, 0];
+        for i in 0..truth.len() {
+            if i < 2 {
+                let masses = if i == 0 {
+                    vec![0.70, 0.20, 0.05, 0.03, 0.01, 0.01]
+                } else {
+                    vec![0.01, 0.01, 0.03, 0.05, 0.30, 0.60]
+                };
+                rel.push_uncertain(DiscreteDist::from_masses(&masses));
+            } else {
+                rel.push_certain(truth[i]);
+            }
+        }
+        let mut oracle = FnCleaningOracle(|id| truth[id]);
+        let cfg = CleanerConfig { k: 1, thres: 0.99, batch_size: 1, ..Default::default() };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        assert!(out.converged);
+        // With thres = 0.99 the misleading pair must get cleaned and the
+        // true top item (0, bucket 5) must win.
+        assert_eq!(out.topk, vec![0]);
+        assert_eq!(out.confidence, 1.0);
+    }
+
+    #[test]
+    fn all_certain_relation_returns_immediately() {
+        let mut rel = UncertainRelation::new(1.0, 5);
+        for b in [5u32, 3, 4, 1, 0] {
+            rel.push_certain(b);
+        }
+        let mut oracle = FnCleaningOracle(|_| panic!("oracle must not be called"));
+        let cfg = CleanerConfig { k: 2, thres: 0.99, ..Default::default() };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        assert_eq!(out.cleaned, 0);
+        assert_eq!(out.confidence, 1.0);
+        assert_eq!(out.topk, vec![0, 2]); // buckets 5 and 4
+    }
+
+    #[test]
+    fn thres_zero_stops_after_bootstrap() {
+        let truth: Vec<u32> = (0..50).map(|i| (i % 7) as u32).collect();
+        let (mut rel, t) = noisy_relation(&truth, 6, 0, 5);
+        let mut oracle = FnCleaningOracle(|id| t[id]);
+        let cfg = CleanerConfig { k: 3, thres: 0.0, ..Default::default() };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        // Needs K certain items, then any confidence passes.
+        assert_eq!(out.cleaned, 3);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn max_cleanings_caps_work() {
+        let truth: Vec<u32> = (0..300).map(|i| (i % 11) as u32).collect();
+        let (mut rel, t) = noisy_relation(&truth, 10, 20, 6);
+        let mut oracle = FnCleaningOracle(|id| t[id]);
+        let cfg = CleanerConfig {
+            k: 5,
+            thres: 0.9999,
+            max_cleanings: Some(10),
+            ..Default::default()
+        };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        assert!(out.cleaned <= 10 + cfg.batch_size);
+        if !out.converged {
+            assert!(out.confidence < 0.9999);
+        }
+    }
+
+    #[test]
+    fn higher_threshold_cleans_more() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let truth: Vec<u32> = (0..400).map(|_| rng.gen_range(0..=12)).collect();
+        let run = |thres: f64| {
+            let (mut rel, t) = noisy_relation(&truth, 12, 30, 8);
+            let mut oracle = FnCleaningOracle(|id| t[id]);
+            let cfg = CleanerConfig { k: 10, thres, ..Default::default() };
+            run_cleaner(&mut rel, &mut oracle, &cfg).cleaned
+        };
+        let low = run(0.5);
+        let high = run(0.99);
+        assert!(high >= low, "thres 0.99 cleaned {high} < thres 0.5 cleaned {low}");
+    }
+
+    #[test]
+    #[should_panic(expected = "relation has")]
+    fn too_small_relation_panics() {
+        let mut rel = UncertainRelation::new(1.0, 2);
+        rel.push_certain(1);
+        let mut oracle = FnCleaningOracle(|_| 0);
+        let _ = run_cleaner(&mut rel, &mut oracle, &CleanerConfig::default());
+    }
+
+    #[test]
+    fn exact_result_matches_ground_truth_topk_scores() {
+        // With thres close to 1 the returned set's scores must match the
+        // true Top-K scores (sets may differ under ties).
+        let mut rng = StdRng::seed_from_u64(9);
+        let truth: Vec<u32> = (0..250).map(|_| rng.gen_range(0..=15)).collect();
+        let (mut rel, t) = noisy_relation(&truth, 15, 25, 10);
+        let t2 = t.clone();
+        let mut oracle = FnCleaningOracle(|id| t2[id]);
+        let cfg = CleanerConfig { k: 8, thres: 0.99, ..Default::default() };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        let mut expect: Vec<u32> = t.clone();
+        expect.sort_unstable_by(|a, b| b.cmp(a));
+        let got: Vec<u32> =
+            out.topk.iter().map(|&id| rel.certain_bucket(id).unwrap()).collect();
+        // allow the bottom item to differ by ties only when confidence < 1
+        for (g, e) in got.iter().zip(expect.iter()) {
+            assert!(
+                g >= e || out.confidence < 1.0,
+                "top scores diverge: got {got:?}, expect {:?}",
+                &expect[..8]
+            );
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Persistent ingestion index: save Phase-1 artifacts, serve queries later.
+//!
+//! §4.2 observes that "Phase 1 can be done offline during data ingestion
+//! (e.g. Focus) or even at the edge where the videos are produced". This
+//! module is that mode: an [`IngestIndex`] captures everything Phase 2
+//! needs — the uncertain relation `D0`, the difference-detector
+//! segmentation, the per-frame CMDN mixtures (for window queries), the
+//! oracle-labelled samples, and the trained proxy model itself — in a
+//! versioned, self-validating JSON document.
+//!
+//! A restored index answers frame, window and sliding-window queries
+//! exactly like a freshly prepared one ([`IngestIndex::into_prepared`]
+//! rebuilds the [`PreparedVideo`]); the simulated-clock charges of Phase 1
+//! are preserved so reported end-to-end latencies stay honest.
+//!
+//! Format: JSON via `serde_json` (human-inspectable, append-friendly for
+//! catalogs of indexes; see DESIGN.md for the dependency note).
+
+use crate::phase1::Phase1Output;
+use crate::pipeline::PreparedVideo;
+use crate::sim::SimClock;
+use crate::xtuple::UncertainRelation;
+use everest_nn::{Cmdn, GaussianMixture};
+use everest_video::diff::Segments;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::time::Duration;
+
+/// Current on-disk format version.
+pub const INGEST_FORMAT_VERSION: u32 = 1;
+
+/// Everything a query needs from Phase 1, in persistable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestIndex {
+    /// Format version ([`INGEST_FORMAT_VERSION`] when written by this
+    /// build).
+    pub version: u32,
+    /// Name of the video this index was built for (a label; the loader
+    /// checks it when the caller supplies an expectation).
+    pub video_name: String,
+    /// Frame count of the ingested video.
+    pub n_frames: usize,
+    /// The initial uncertain relation `D0`.
+    pub relation: UncertainRelation,
+    /// Difference-detector segmentation.
+    pub segments: Segments,
+    /// CMDN mixtures per retained frame.
+    pub mixtures: Vec<GaussianMixture>,
+    /// Oracle-labelled retained positions → exact score.
+    pub labeled: Vec<(usize, f64)>,
+    /// Hyper-parameter grid results `(g, h, holdout_nll)`.
+    pub grid_results: Vec<(usize, usize, f64)>,
+    /// The selected proxy model (weights only; training state is
+    /// rebuilt on load).
+    pub model: Cmdn,
+    /// Simulated-clock charges of Phase 1.
+    pub clock: Vec<(String, f64)>,
+    /// Real wall seconds Phase 1 took when it ran.
+    pub wall_secs: f64,
+    /// Largest labelled score (the `M` of the Select-and-TopK baseline).
+    pub max_labeled_score: f64,
+}
+
+/// Why loading or validating an index failed.
+#[derive(Debug)]
+pub enum IngestError {
+    Io(std::io::Error),
+    Format(serde_json::Error),
+    /// The file's version is not readable by this build.
+    Version { found: u32, supported: u32 },
+    /// Internal inconsistency (corrupted or hand-edited file).
+    Integrity(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest I/O error: {e}"),
+            IngestError::Format(e) => write!(f, "ingest format error: {e}"),
+            IngestError::Version { found, supported } => {
+                write!(f, "ingest index version {found} unsupported (this build reads {supported})")
+            }
+            IngestError::Integrity(msg) => write!(f, "ingest integrity error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IngestError {
+    fn from(e: serde_json::Error) -> Self {
+        IngestError::Format(e)
+    }
+}
+
+impl IngestIndex {
+    /// Captures a freshly prepared video into a persistable index.
+    pub fn from_prepared(video_name: impl Into<String>, prepared: &PreparedVideo) -> Self {
+        let p = &prepared.phase1;
+        let mut labeled: Vec<(usize, f64)> =
+            p.labeled.iter().map(|(&k, &v)| (k, v)).collect();
+        labeled.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        IngestIndex {
+            version: INGEST_FORMAT_VERSION,
+            video_name: video_name.into(),
+            n_frames: prepared.n_frames(),
+            relation: p.relation.clone(),
+            segments: p.segments.clone(),
+            mixtures: p.mixtures.clone(),
+            labeled,
+            grid_results: p.grid_results.clone(),
+            model: p.model.clone(),
+            clock: p.clock.entries(),
+            wall_secs: p.wall.as_secs_f64(),
+            max_labeled_score: p.max_labeled_score,
+        }
+    }
+
+    /// Validates the index and rebuilds a query-ready [`PreparedVideo`].
+    pub fn into_prepared(self) -> Result<PreparedVideo, IngestError> {
+        if self.version != INGEST_FORMAT_VERSION {
+            return Err(IngestError::Version {
+                found: self.version,
+                supported: INGEST_FORMAT_VERSION,
+            });
+        }
+        self.validate()?;
+        let clock = SimClock::from_entries(&self.clock).map_err(IngestError::Integrity)?;
+        let labeled: HashMap<usize, f64> = self.labeled.into_iter().collect();
+        let phase1 = Phase1Output {
+            relation: self.relation,
+            segments: self.segments,
+            mixtures: self.mixtures,
+            labeled,
+            grid_results: self.grid_results,
+            model: self.model,
+            clock,
+            wall: Duration::from_secs_f64(self.wall_secs.max(0.0)),
+            max_labeled_score: self.max_labeled_score,
+        };
+        Ok(PreparedVideo::from_parts(phase1, self.n_frames))
+    }
+
+    /// Structural consistency checks (anything a hand-edited or truncated
+    /// file could violate without failing JSON parsing).
+    pub fn validate(&self) -> Result<(), IngestError> {
+        let n_retained = self.segments.num_retained();
+        if self.relation.len() != n_retained {
+            return Err(IngestError::Integrity(format!(
+                "relation has {} items but the segmentation retains {n_retained} frames",
+                self.relation.len()
+            )));
+        }
+        if self.mixtures.len() != n_retained {
+            return Err(IngestError::Integrity(format!(
+                "{} mixtures for {n_retained} retained frames",
+                self.mixtures.len()
+            )));
+        }
+        if self.segments.n_frames() != self.n_frames {
+            return Err(IngestError::Integrity(format!(
+                "segmentation covers {} frames, index claims {}",
+                self.segments.n_frames(),
+                self.n_frames
+            )));
+        }
+        for &(pos, score) in &self.labeled {
+            if pos >= self.relation.len() {
+                return Err(IngestError::Integrity(format!(
+                    "labelled position {pos} beyond the relation"
+                )));
+            }
+            if !score.is_finite() {
+                return Err(IngestError::Integrity(format!(
+                    "labelled position {pos} has non-finite score {score}"
+                )));
+            }
+        }
+        if !self.max_labeled_score.is_finite() {
+            return Err(IngestError::Integrity("non-finite max_labeled_score".into()));
+        }
+        if !(self.wall_secs.is_finite() && self.wall_secs >= 0.0) {
+            return Err(IngestError::Integrity(format!(
+                "invalid wall_secs {}",
+                self.wall_secs
+            )));
+        }
+        Ok(())
+    }
+
+    /// Serializes to JSON.
+    pub fn write_to(&self, w: impl Write) -> Result<(), IngestError> {
+        serde_json::to_writer(w, self)?;
+        Ok(())
+    }
+
+    /// Deserializes from JSON (validation happens in
+    /// [`Self::into_prepared`], or call [`Self::validate`] directly).
+    pub fn read_from(r: impl Read) -> Result<Self, IngestError> {
+        Ok(serde_json::from_reader(r)?)
+    }
+
+    /// Saves to a file (overwrites).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), IngestError> {
+        let file = std::fs::File::create(path)?;
+        self.write_to(BufWriter::new(file))
+    }
+
+    /// Loads from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, IngestError> {
+        let file = std::fs::File::open(path)?;
+        Self::read_from(BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cleaner::CleanerConfig;
+    use crate::phase1::Phase1Config;
+    use crate::pipeline::Everest;
+    use everest_models::{counting_oracle, InstrumentedOracle};
+    use everest_nn::train::TrainConfig;
+    use everest_nn::HyperGrid;
+    use everest_video::arrival::{ArrivalConfig, Timeline};
+    use everest_video::scene::{SceneConfig, SyntheticVideo};
+
+    fn prepared_fixture() -> (SyntheticVideo, InstrumentedOracle<everest_models::ExactScoreOracle>, PreparedVideo)
+    {
+        let tl = Timeline::generate(
+            &ArrivalConfig { n_frames: 900, ..ArrivalConfig::default() },
+            17,
+        );
+        let video = SyntheticVideo::new(SceneConfig::default(), tl, 17, 30.0);
+        let oracle = InstrumentedOracle::new(counting_oracle(&video));
+        let cfg = Phase1Config {
+            sample_frac: 0.1,
+            sample_cap: 120,
+            sample_min: 48,
+            grid: HyperGrid::single(2, 8),
+            train: TrainConfig { epochs: 3, ..TrainConfig::default() },
+            conv_channels: vec![4, 8],
+            threads: 2,
+            ..Phase1Config::default()
+        };
+        let prepared = Everest::prepare(&video, &oracle, &cfg);
+        (video, oracle, prepared)
+    }
+
+    #[test]
+    fn round_trip_preserves_phase1_artifacts() {
+        let (_v, _o, prepared) = prepared_fixture();
+        let index = IngestIndex::from_prepared("fixture", &prepared);
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        let restored = IngestIndex::read_from(buf.as_slice()).unwrap();
+        assert_eq!(restored.version, INGEST_FORMAT_VERSION);
+        assert_eq!(restored.video_name, "fixture");
+        assert_eq!(restored.n_frames, prepared.n_frames());
+        assert_eq!(restored.relation, prepared.phase1.relation);
+        assert_eq!(restored.segments, prepared.phase1.segments);
+        assert_eq!(restored.mixtures.len(), prepared.phase1.mixtures.len());
+        let back = restored.into_prepared().unwrap();
+        assert_eq!(back.n_frames(), prepared.n_frames());
+        assert_eq!(back.phase1.relation, prepared.phase1.relation);
+        assert_eq!(back.phase1.labeled, prepared.phase1.labeled);
+        assert!(
+            (back.phase1.clock.total() - prepared.phase1.clock.total()).abs() < 1e-12,
+            "clock charges must survive persistence"
+        );
+    }
+
+    #[test]
+    fn restored_index_answers_queries_identically() {
+        let (_v, oracle, prepared) = prepared_fixture();
+        let index = IngestIndex::from_prepared("fixture", &prepared);
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        let restored =
+            IngestIndex::read_from(buf.as_slice()).unwrap().into_prepared().unwrap();
+
+        let cfg = CleanerConfig { k: 5, thres: 0.9, ..Default::default() };
+        let fresh = prepared.query_topk(&oracle, 5, 0.9, &cfg);
+        let loaded = restored.query_topk(&oracle, 5, 0.9, &cfg);
+        assert_eq!(fresh.frames(), loaded.frames());
+        assert_eq!(fresh.confidence, loaded.confidence);
+        assert_eq!(fresh.cleaned, loaded.cleaned);
+        assert_eq!(fresh.iterations, loaded.iterations);
+
+        // window queries too (they use segments + mixtures)
+        let fresh_w = prepared.query_topk_windows(&oracle, 3, 0.9, 30, 0.5, &cfg);
+        let loaded_w = restored.query_topk_windows(&oracle, 3, 0.9, 30, 0.5, &cfg);
+        assert_eq!(fresh_w.frames(), loaded_w.frames());
+    }
+
+    #[test]
+    fn restored_model_predicts_identically() {
+        let (video, _o, prepared) = prepared_fixture();
+        let index = IngestIndex::from_prepared("fixture", &prepared);
+        let mut buf = Vec::new();
+        index.write_to(&mut buf).unwrap();
+        let restored = IngestIndex::read_from(buf.as_slice()).unwrap();
+
+        // The proxy model's weights survive: same input → same mixture.
+        let frames = crate::phase1::render_inputs(
+            &video,
+            &[7, 123],
+            prepared.phase1.model.config().input,
+            2,
+        );
+        let mut a = prepared.phase1.model.clone();
+        let mut b = restored.model.clone();
+        for input in &frames {
+            let ma = a.predict(input);
+            let mb = b.predict(input);
+            assert_eq!(ma.components().len(), mb.components().len());
+            for (ca, cb) in ma.components().iter().zip(mb.components()) {
+                assert!((ca.mean - cb.mean).abs() < 1e-6);
+                assert!((ca.std - cb.std).abs() < 1e-6);
+                assert!((ca.weight - cb.weight).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (_v, _o, prepared) = prepared_fixture();
+        let mut index = IngestIndex::from_prepared("fixture", &prepared);
+        index.version = 999;
+        match index.into_prepared() {
+            Err(IngestError::Version { found: 999, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integrity_checks_catch_corruption() {
+        let (_v, _o, prepared) = prepared_fixture();
+
+        let mut bad = IngestIndex::from_prepared("fixture", &prepared);
+        bad.mixtures.pop();
+        assert!(matches!(bad.validate(), Err(IngestError::Integrity(_))));
+
+        let mut bad = IngestIndex::from_prepared("fixture", &prepared);
+        bad.labeled.push((usize::MAX, 1.0));
+        assert!(matches!(bad.validate(), Err(IngestError::Integrity(_))));
+
+        let mut bad = IngestIndex::from_prepared("fixture", &prepared);
+        bad.n_frames += 1;
+        assert!(matches!(bad.validate(), Err(IngestError::Integrity(_))));
+
+        let mut bad = IngestIndex::from_prepared("fixture", &prepared);
+        bad.clock.push(("warp_drive".into(), 3.0));
+        assert!(matches!(bad.into_prepared(), Err(IngestError::Integrity(_))));
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let (_v, _o, prepared) = prepared_fixture();
+        let index = IngestIndex::from_prepared("fixture", &prepared);
+        let dir = std::env::temp_dir().join("everest-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fixture.index.json");
+        index.save(&path).unwrap();
+        let loaded = IngestIndex::load(&path).unwrap();
+        assert_eq!(loaded.relation, index.relation);
+        std::fs::remove_file(&path).ok();
+        // missing file is an Io error
+        assert!(matches!(
+            IngestIndex::load(dir.join("nope.json")),
+            Err(IngestError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,445 @@
+//! The end-to-end Everest engine: Phase 1 + Phase 2 with full cost
+//! accounting (Figure 1).
+//!
+//! [`Everest::prepare`] runs Phase 1 once per (video, scoring function);
+//! the returned [`PreparedVideo`] then serves any number of frame-level or
+//! window queries, each re-running Phase 2 on a fresh copy of `D0` (the
+//! paper re-runs both phases per query; reusing Phase 1 across a parameter
+//! sweep only removes redundant identical work — each query's reported
+//! time still includes the full Phase-1 charge).
+
+use crate::cleaner::{run_cleaner, CleanerConfig, CleaningOracle};
+use crate::phase1::{run_phase1, Phase1Config, Phase1Output};
+use crate::sim::{component, SimClock};
+use crate::window::{
+    build_window_relation, tumbling_windows, WindowCleaningOracle, WindowInfo,
+};
+use crate::xtuple::ItemId;
+use everest_models::Oracle;
+use everest_video::store::DecodeCostModel;
+use everest_video::VideoStore;
+use std::time::Instant;
+
+/// The Everest engine entry point.
+pub struct Everest;
+
+impl Everest {
+    /// Phase 1: builds the initial uncertain relation and proxy model.
+    pub fn prepare(
+        video: &dyn VideoStore,
+        oracle: &dyn Oracle,
+        cfg: &Phase1Config,
+    ) -> PreparedVideo {
+        let phase1 = run_phase1(video, oracle, cfg);
+        PreparedVideo { phase1, n_frames: video.num_frames() }
+    }
+}
+
+/// Phase-1 artifacts bound to one video + scoring function.
+#[derive(Debug, Clone)]
+pub struct PreparedVideo {
+    pub phase1: Phase1Output,
+    n_frames: usize,
+}
+
+/// One returned Top-K item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultItem {
+    /// Frame index (frame queries) or window start frame (window queries).
+    pub frame: usize,
+    /// Window frame range (frame queries report a 1-frame range).
+    pub range: (usize, usize),
+    /// Oracle-confirmed score (window queries: sampled mean).
+    pub score: f64,
+}
+
+/// Full report of one query.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The Top-K answer, best first. Every item is oracle-confirmed
+    /// (certain-result condition).
+    pub items: Vec<ResultItem>,
+    /// `Pr(R̂ = R)` under possible-world semantics at termination.
+    pub confidence: f64,
+    /// Whether the confidence threshold was met.
+    pub converged: bool,
+    /// Simulated-time breakdown (Phase 1 + Phase 2), Table 8 style.
+    pub clock: SimClock,
+    /// Phase-2 iterations (select → clean rounds).
+    pub iterations: usize,
+    /// Items cleaned in Phase 2.
+    pub cleaned: usize,
+    /// Total items in the uncertain relation.
+    pub total_items: usize,
+    /// Oracle frames consumed by Phase-2 confirmation.
+    pub oracle_frames: usize,
+    /// Real wall time of Phase 2.
+    pub phase2_wall: std::time::Duration,
+}
+
+impl QueryReport {
+    /// Fraction of items cleaned during Phase 2 (Table 8b).
+    pub fn pct_cleaned(&self) -> f64 {
+        if self.total_items == 0 {
+            0.0
+        } else {
+            self.cleaned as f64 / self.total_items as f64
+        }
+    }
+
+    /// Total simulated end-to-end latency, seconds.
+    pub fn sim_seconds(&self) -> f64 {
+        self.clock.total()
+    }
+
+    /// Answer frame ids (or window start frames).
+    pub fn frames(&self) -> Vec<usize> {
+        self.items.iter().map(|i| i.frame).collect()
+    }
+}
+
+/// Phase-2 oracle adapter for frame queries: item id = retained position.
+struct FrameCleaningOracle<'a> {
+    oracle: &'a dyn Oracle,
+    retained: &'a [usize],
+    step: f64,
+    max_bucket: usize,
+    frames_scored: usize,
+    trace: Vec<usize>,
+}
+
+impl CleaningOracle for FrameCleaningOracle<'_> {
+    fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32> {
+        let frames: Vec<usize> = items.iter().map(|&i| self.retained[i]).collect();
+        let scores = self.oracle.score_batch(&frames);
+        self.frames_scored += frames.len();
+        self.trace.extend_from_slice(&frames);
+        scores
+            .iter()
+            .map(|&s| ((s / self.step).round().max(0.0) as usize).min(self.max_bucket) as u32)
+            .collect()
+    }
+}
+
+impl PreparedVideo {
+    /// Rebuilds a prepared video from persisted Phase-1 artifacts (see
+    /// `crate::ingest`). The caller vouches that `phase1` was produced for
+    /// a video of `n_frames` frames.
+    pub fn from_parts(phase1: Phase1Output, n_frames: usize) -> Self {
+        PreparedVideo { phase1, n_frames }
+    }
+
+    /// Number of frames of the underlying video.
+    pub fn n_frames(&self) -> usize {
+        self.n_frames
+    }
+
+    /// Runs a frame-level Top-K query (Phase 2).
+    pub fn query_topk(
+        &self,
+        oracle: &dyn Oracle,
+        k: usize,
+        thres: f64,
+        cleaner: &CleanerConfig,
+    ) -> QueryReport {
+        let started = Instant::now();
+        let mut relation = self.phase1.relation.clone();
+        let retained = self.phase1.segments.retained();
+        let mut cleaning = FrameCleaningOracle {
+            oracle,
+            retained,
+            step: relation.step(),
+            max_bucket: relation.max_bucket(),
+            frames_scored: 0,
+            trace: Vec::new(),
+        };
+        let cfg = CleanerConfig { k, thres, ..cleaner.clone() };
+        let outcome = run_cleaner(&mut relation, &mut cleaning, &cfg);
+
+        let mut clock = self.phase1.clock.clone();
+        let decode = DecodeCostModel::default();
+        clock.charge(
+            component::CONFIRM,
+            cleaning.frames_scored as f64 * oracle.cost_per_frame()
+                + decode.trace_cost(&cleaning.trace),
+        );
+        clock.charge(component::SELECT, outcome.select_time.as_secs_f64());
+
+        let items = outcome
+            .topk
+            .iter()
+            .map(|&id| {
+                let frame = retained[id];
+                let bucket = relation.certain_bucket(id).expect("answer is certain");
+                ResultItem {
+                    frame,
+                    range: (frame, frame + 1),
+                    score: relation.bucket_to_score(bucket),
+                }
+            })
+            .collect();
+        QueryReport {
+            items,
+            confidence: outcome.confidence,
+            converged: outcome.converged,
+            clock,
+            iterations: outcome.iterations,
+            cleaned: outcome.cleaned,
+            total_items: relation.len(),
+            oracle_frames: cleaning.frames_scored,
+            phase2_wall: started.elapsed(),
+        }
+    }
+
+    /// Runs a Top-K window query (§3.4): tumbling windows of `window_len`
+    /// frames, confirmed by sampling `sample_frac` of each window's frames.
+    pub fn query_topk_windows(
+        &self,
+        oracle: &dyn Oracle,
+        k: usize,
+        thres: f64,
+        window_len: usize,
+        sample_frac: f64,
+        cleaner: &CleanerConfig,
+    ) -> QueryReport {
+        let windows = tumbling_windows(self.n_frames, window_len);
+        self.query_topk_over_windows(oracle, k, thres, windows, sample_frac, cleaner)
+    }
+
+    /// Runs a Top-K query over *sliding* windows of `window_len` frames
+    /// hopping by `slide` — the sliding extension of §3.4 (see
+    /// [`crate::window::sliding_windows`] for the independence caveat when
+    /// `slide < window_len`).
+    pub fn query_topk_sliding_windows(
+        &self,
+        oracle: &dyn Oracle,
+        k: usize,
+        thres: f64,
+        window_len: usize,
+        slide: usize,
+        sample_frac: f64,
+        cleaner: &CleanerConfig,
+    ) -> QueryReport {
+        let windows = crate::window::sliding_windows(self.n_frames, window_len, slide);
+        self.query_topk_over_windows(oracle, k, thres, windows, sample_frac, cleaner)
+    }
+
+    /// Shared window-query body over an explicit window list.
+    fn query_topk_over_windows(
+        &self,
+        oracle: &dyn Oracle,
+        k: usize,
+        thres: f64,
+        windows: Vec<crate::window::WindowInfo>,
+        sample_frac: f64,
+        cleaner: &CleanerConfig,
+    ) -> QueryReport {
+        let started = Instant::now();
+        // Window scores are means of frame scores: reuse the frame grid but
+        // refine the step for sub-integer means.
+        let step = self.phase1.relation.step() / 4.0;
+        let max_bucket =
+            (self.phase1.relation.max_bucket() * 4 + 4).min(4 * 400);
+        let mut relation = build_window_relation(
+            &self.phase1.mixtures,
+            &self.phase1.segments,
+            &windows,
+            step,
+            max_bucket,
+        );
+        let mut cleaning = WindowCleaningOracle::new(
+            oracle,
+            &windows,
+            sample_frac,
+            step,
+            max_bucket,
+            self.phase1_seed() ^ WINDOW_SAMPLE_SALT,
+        );
+        let cfg = CleanerConfig { k, thres, ..cleaner.clone() };
+        let outcome = run_cleaner(&mut relation, &mut cleaning, &cfg);
+
+        let mut clock = self.phase1.clock.clone();
+        let decode = DecodeCostModel::default();
+        clock.charge(
+            component::CONFIRM,
+            cleaning.frames_scored as f64
+                * (oracle.cost_per_frame() + decode.seq_cost * 4.0),
+        );
+        clock.charge(component::SELECT, outcome.select_time.as_secs_f64());
+
+        let items = outcome
+            .topk
+            .iter()
+            .map(|&wid| {
+                let w = windows[wid];
+                let bucket = relation.certain_bucket(wid).expect("answer is certain");
+                ResultItem {
+                    frame: w.start,
+                    range: (w.start, w.end),
+                    score: relation.bucket_to_score(bucket),
+                }
+            })
+            .collect();
+        QueryReport {
+            items,
+            confidence: outcome.confidence,
+            converged: outcome.converged,
+            clock,
+            iterations: outcome.iterations,
+            cleaned: outcome.cleaned,
+            total_items: relation.len(),
+            oracle_frames: cleaning.frames_scored,
+            phase2_wall: started.elapsed(),
+        }
+    }
+
+    /// The tumbling windows a window query of this length would use.
+    pub fn windows(&self, window_len: usize) -> Vec<WindowInfo> {
+        tumbling_windows(self.n_frames, window_len)
+    }
+
+    fn phase1_seed(&self) -> u64 {
+        // derive a stable seed from phase-1 size characteristics
+        (self.phase1.relation.len() as u64) << 20 | self.n_frames as u64
+    }
+}
+
+const WINDOW_SAMPLE_SALT: u64 = 0x81D_7005;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{evaluate_topk, GroundTruth};
+    use crate::phase1::Phase1Config;
+    use everest_models::{counting_oracle, ExactScoreOracle, InstrumentedOracle};
+    use everest_nn::train::TrainConfig;
+    use everest_nn::HyperGrid;
+    use everest_video::arrival::{ArrivalConfig, Timeline};
+    use everest_video::scene::{SceneConfig, SyntheticVideo};
+
+    fn tiny_setup() -> (SyntheticVideo, ExactScoreOracle) {
+        let tl = Timeline::generate(
+            &ArrivalConfig { n_frames: 1_500, ..ArrivalConfig::default() },
+            29,
+        );
+        let v = SyntheticVideo::new(SceneConfig::default(), tl, 29, 30.0);
+        let o = counting_oracle(&v);
+        (v, o)
+    }
+
+    fn fast_phase1() -> Phase1Config {
+        Phase1Config {
+            sample_frac: 0.1,
+            sample_cap: 150,
+        sample_min: 32,
+            grid: HyperGrid::single(3, 16),
+            train: TrainConfig { epochs: 8, batch_size: 32, ..TrainConfig::default() },
+            conv_channels: vec![6, 12],
+            threads: 4,
+            ..Phase1Config::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_frame_query_meets_threshold() {
+        let (v, o) = tiny_setup();
+        let oracle = InstrumentedOracle::new(o);
+        let prepared = Everest::prepare(&v, &oracle, &fast_phase1());
+        let report = prepared.query_topk(&oracle, 10, 0.9, &CleanerConfig::default());
+        assert!(report.converged);
+        assert!(report.confidence >= 0.9);
+        assert_eq!(report.items.len(), 10);
+        // certain-result condition: every reported score is the exact score
+        for item in &report.items {
+            let exact = oracle.inner().all_scores()[item.frame];
+            assert_eq!(item.score, exact, "frame {}", item.frame);
+        }
+        // quality against exact ground truth over retained frames
+        let retained = prepared.phase1.segments.retained();
+        let truth = GroundTruth::new(
+            retained.iter().map(|&t| oracle.inner().all_scores()[t]).collect(),
+        );
+        let answer_pos: Vec<usize> = report
+            .items
+            .iter()
+            .map(|i| retained.iter().position(|&t| t == i.frame).unwrap())
+            .collect();
+        let q = evaluate_topk(&truth, &answer_pos, 10);
+        assert!(q.precision >= 0.8, "precision {}", q.precision);
+    }
+
+    #[test]
+    fn sim_clock_includes_all_components() {
+        let (v, o) = tiny_setup();
+        let oracle = InstrumentedOracle::new(o);
+        let prepared = Everest::prepare(&v, &oracle, &fast_phase1());
+        let report = prepared.query_topk(&oracle, 5, 0.9, &CleanerConfig::default());
+        assert!(report.clock.component(component::LABEL) > 0.0);
+        assert!(report.clock.component(component::TRAIN) > 0.0);
+        assert!(report.clock.component(component::POPULATE) > 0.0);
+        assert!(report.sim_seconds() > 0.0);
+        assert!(report.pct_cleaned() <= 1.0);
+    }
+
+    #[test]
+    fn higher_k_does_not_break() {
+        let (v, o) = tiny_setup();
+        let oracle = InstrumentedOracle::new(o);
+        let prepared = Everest::prepare(&v, &oracle, &fast_phase1());
+        for k in [1, 5, 25] {
+            let report = prepared.query_topk(&oracle, k, 0.9, &CleanerConfig::default());
+            assert_eq!(report.items.len(), k);
+            assert!(report.converged, "k={k}");
+            // descending scores
+            let scores: Vec<f64> = report.items.iter().map(|i| i.score).collect();
+            assert!(scores.windows(2).all(|w| w[0] >= w[1]), "k={k}: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn window_query_end_to_end() {
+        let (v, o) = tiny_setup();
+        let oracle = InstrumentedOracle::new(o);
+        let prepared = Everest::prepare(&v, &oracle, &fast_phase1());
+        let report = prepared.query_topk_windows(
+            &oracle,
+            5,
+            0.9,
+            30,
+            0.5,
+            &CleanerConfig::default(),
+        );
+        assert!(report.converged);
+        assert_eq!(report.items.len(), 5);
+        for item in &report.items {
+            assert_eq!(item.range.1 - item.range.0, 30.min(item.range.1 - item.range.0));
+            assert!(item.range.0 % 30 == 0, "window must start on a boundary");
+        }
+        // sampled window means should be near the exact window means
+        let exact = crate::window::exact_window_scores(
+            oracle.inner().all_scores(),
+            &prepared.windows(30),
+        );
+        for item in &report.items {
+            let wid = item.frame / 30;
+            assert!(
+                (item.score - exact[wid]).abs() <= 2.0,
+                "window {wid}: sampled {} vs exact {}",
+                item.score,
+                exact[wid]
+            );
+        }
+    }
+
+    #[test]
+    fn queries_are_reusable_and_deterministic() {
+        let (v, o) = tiny_setup();
+        let oracle = InstrumentedOracle::new(o);
+        let prepared = Everest::prepare(&v, &oracle, &fast_phase1());
+        let a = prepared.query_topk(&oracle, 5, 0.9, &CleanerConfig::default());
+        let b = prepared.query_topk(&oracle, 5, 0.9, &CleanerConfig::default());
+        assert_eq!(a.frames(), b.frames());
+        assert_eq!(a.confidence, b.confidence);
+        assert_eq!(a.cleaned, b.cleaned);
+    }
+}

@@ -1,0 +1,196 @@
+//! Brute-force possible-world semantics (Eq. 1) — the correctness oracle
+//! for the fast path.
+//!
+//! §3 defines the confidence of a Top-K answer as the total probability of
+//! the possible worlds in which the answer is (a) Top-K (Eq. 1). The fast
+//! path (Eq. 2/3, [`crate::topkprob`]) is an algebraic simplification under
+//! the certain-result condition; this module enumerates worlds explicitly
+//! so tests (including property tests) can verify the equivalence on small
+//! relations — the paper's Table 4 example included.
+//!
+//! Ties follow the paper's footnote 1: an answer `R̂` counts as Top-K in a
+//! world when **no item outside `R̂` scores strictly higher than the lowest
+//! score inside `R̂`**.
+
+use crate::xtuple::{ItemId, UncertainRelation};
+
+/// Enumeration guard: relations with more possible worlds than this are
+/// rejected (the caller should be using the fast path).
+pub const MAX_WORLDS: u128 = 2_000_000;
+
+/// One fully instantiated world: a score bucket per item, plus its
+/// probability.
+#[derive(Debug, Clone)]
+pub struct World {
+    pub buckets: Vec<u32>,
+    pub prob: f64,
+}
+
+/// Enumerates every possible world of the relation.
+///
+/// Certain items contribute their exact bucket with probability 1;
+/// uncertain items contribute each support bucket with its PMF mass.
+pub fn enumerate_worlds(rel: &UncertainRelation) -> Vec<World> {
+    let n = rel.len();
+    let mut world_count: u128 = 1;
+    for id in 0..n {
+        let options = match rel.dist(id) {
+            Some(d) => (d.support_max() - d.support_min() + 1) as u128,
+            None => 1,
+        };
+        world_count = world_count.saturating_mul(options);
+        assert!(
+            world_count <= MAX_WORLDS,
+            "relation too large for brute-force enumeration ({world_count}+ worlds)"
+        );
+    }
+
+    let mut worlds = vec![World { buckets: vec![0; n], prob: 1.0 }];
+    for id in 0..n {
+        match rel.certain_bucket(id) {
+            Some(b) => {
+                for w in &mut worlds {
+                    w.buckets[id] = b;
+                }
+            }
+            None => {
+                let d = rel.dist(id).expect("uncertain item has dist");
+                let mut next = Vec::with_capacity(worlds.len() * 2);
+                for w in &worlds {
+                    for bucket in d.support_min()..=d.support_max() {
+                        let p = d.pmf(bucket);
+                        if p == 0.0 {
+                            continue;
+                        }
+                        let mut nw = w.clone();
+                        nw.buckets[id] = bucket as u32;
+                        nw.prob = w.prob * p;
+                        next.push(nw);
+                    }
+                }
+                worlds = next;
+            }
+        }
+    }
+    worlds
+}
+
+/// Whether `answer` is a valid Top-K set in the given world (tie-tolerant).
+pub fn is_topk_in_world(world: &World, answer: &[ItemId], k: usize) -> bool {
+    if answer.len() != k {
+        return false;
+    }
+    let min_in = answer
+        .iter()
+        .map(|&id| world.buckets[id])
+        .min()
+        .expect("non-empty answer");
+    world
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(id, _)| !answer.contains(id))
+        .all(|(_, &b)| b <= min_in)
+}
+
+/// Eq. 1: the confidence of `answer` as the probability mass of the worlds
+/// where it is Top-K.
+pub fn topk_confidence_bruteforce(
+    rel: &UncertainRelation,
+    answer: &[ItemId],
+    k: usize,
+) -> f64 {
+    enumerate_worlds(rel)
+        .iter()
+        .filter(|w| is_topk_in_world(w, answer, k))
+        .map(|w| w.prob)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DiscreteDist;
+    use crate::xtuple::table_1a;
+
+    #[test]
+    fn world_count_and_mass() {
+        let rel = table_1a();
+        let worlds = enumerate_worlds(&rel);
+        assert_eq!(worlds.len(), 27); // 3^3 as in §3 ("out of 3^3")
+        let mass: f64 = worlds.iter().map(|w| w.prob).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table4_world_probabilities() {
+        // W1 = (0,0,0): 0.78 × 0.49 × 0.16; W2 = (1,0,0): 0.21 × 0.49 × 0.16
+        let rel = table_1a();
+        let worlds = enumerate_worlds(&rel);
+        let find = |b: &[u32]| {
+            worlds
+                .iter()
+                .find(|w| w.buckets == b)
+                .map(|w| w.prob)
+                .expect("world exists")
+        };
+        assert!((find(&[0, 0, 0]) - 0.78 * 0.49 * 0.16).abs() < 1e-12);
+        assert!((find(&[1, 0, 0]) - 0.21 * 0.49 * 0.16).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_top1_confidence_of_f3_is_085() {
+        // §3: "the Top-1 result of Table 1a is {f3} with confidence 0.85".
+        let rel = table_1a();
+        let p = topk_confidence_bruteforce(&rel, &[2], 1);
+        assert!((p - 0.8476).abs() < 0.01, "expected ≈0.85, got {p}");
+    }
+
+    #[test]
+    fn paper_updated_confidence_after_cleaning_f3_is_038() {
+        // §3/Table 5: after Oracle(f3) = 0, {f3}'s Top-1 confidence drops to
+        // 0.78 × 0.49 ≈ 0.38 (worlds where f1 = f2 = 0).
+        let mut rel = table_1a();
+        rel.clean(2, 0);
+        let p = topk_confidence_bruteforce(&rel, &[2], 1);
+        assert!((p - 0.78 * 0.49).abs() < 1e-9, "expected ≈0.382, got {p}");
+    }
+
+    #[test]
+    fn certain_relation_confidence_is_binary() {
+        let mut rel = UncertainRelation::new(1.0, 4);
+        rel.push_certain(4);
+        rel.push_certain(2);
+        rel.push_certain(1);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[0], 1), 1.0);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[1], 1), 0.0);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[0, 1], 2), 1.0);
+    }
+
+    #[test]
+    fn ties_count_as_valid_topk() {
+        let mut rel = UncertainRelation::new(1.0, 1);
+        rel.push_certain(1);
+        rel.push_certain(1);
+        // Either single frame is a valid Top-1 when both tie.
+        assert_eq!(topk_confidence_bruteforce(&rel, &[0], 1), 1.0);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[1], 1), 1.0);
+    }
+
+    #[test]
+    fn wrong_answer_size_has_zero_confidence() {
+        let rel = table_1a();
+        assert_eq!(topk_confidence_bruteforce(&rel, &[0, 1], 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn enumeration_guard_trips() {
+        let mut rel = UncertainRelation::new(1.0, 9);
+        let masses = vec![0.1; 10];
+        for _ in 0..25 {
+            rel.push_uncertain(DiscreteDist::from_masses(&masses));
+        }
+        let _ = enumerate_worlds(&rel);
+    }
+}

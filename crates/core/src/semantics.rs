@@ -1,0 +1,401 @@
+//! Alternative uncertain Top-K semantics from the literature (§2,
+//! "Uncertain Top-K Processing"), implemented over the possible-world
+//! enumerator so their behaviour can be contrasted with Everest's
+//! guarantee experimentally:
+//!
+//! * **U-TopK** (Soliman et al.): the result *set* with the highest
+//!   probability of being the Top-K. The paper's critique: the winner may
+//!   still have very low absolute probability — there is no threshold
+//!   guarantee.
+//! * **U-KRanks** (Soliman et al.): position-by-position — the i-th result
+//!   is the item most likely to be ranked i-th. Critique: the assembled
+//!   set as a whole need not be the most probable Top-K (the same item can
+//!   even win several positions).
+//! * **Probabilistic threshold Top-K, PT-k** (Hua et al.): all items whose
+//!   *membership* probability `Pr(f ∈ Top-K)` exceeds a threshold.
+//!   Critique: the result may contain fewer (even zero) or more than K
+//!   items, and says nothing about the set as a whole.
+//!
+//! All three assume no run-time oracle; they rank the uncertain relation
+//! as-is. That is exactly the contrast with Everest's
+//! oracle-in-the-loop processing, whose answer meets `Pr(R̂ = R) ≥ thres`
+//! *and* is fully oracle-confirmed.
+//!
+//! These implementations enumerate possible worlds and are exponential —
+//! they exist for semantics comparison on small relations (and for the
+//! `semantics_comparison` experiment), not for production use.
+
+use crate::pws::{enumerate_worlds, World};
+use crate::xtuple::{ItemId, UncertainRelation};
+use std::collections::HashMap;
+
+/// The Top-K item set of one world, ties broken by ascending id
+/// (deterministic canonical answer).
+fn topk_of_world(world: &World, k: usize) -> Vec<ItemId> {
+    let mut ids: Vec<ItemId> = (0..world.buckets.len()).collect();
+    ids.sort_by(|&a, &b| world.buckets[b].cmp(&world.buckets[a]).then(a.cmp(&b)));
+    let mut top: Vec<ItemId> = ids.into_iter().take(k).collect();
+    top.sort_unstable();
+    top
+}
+
+/// U-TopK: the most probable Top-K *set*, with its probability.
+///
+/// Returns `(set, probability)`; the set is sorted by item id.
+pub fn u_topk(rel: &UncertainRelation, k: usize) -> (Vec<ItemId>, f64) {
+    assert!(k >= 1 && k <= rel.len(), "K out of range");
+    let mut scores: HashMap<Vec<ItemId>, f64> = HashMap::new();
+    for world in enumerate_worlds(rel) {
+        *scores.entry(topk_of_world(&world, k)).or_insert(0.0) += world.prob;
+    }
+    scores
+        .into_iter()
+        .max_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // deterministic tie-break on the set itself
+                .then_with(|| b.0.cmp(&a.0))
+        })
+        .expect("at least one world")
+}
+
+/// U-KRanks: for each rank i (0-based), the item most likely to occupy it.
+///
+/// Returns `ranks[i] = (item, probability)`. Note the same item may win
+/// multiple ranks — one of the semantic quirks the paper points out.
+pub fn u_kranks(rel: &UncertainRelation, k: usize) -> Vec<(ItemId, f64)> {
+    assert!(k >= 1 && k <= rel.len(), "K out of range");
+    let n = rel.len();
+    // rank_prob[i][f] = Pr(item f is ranked i-th)
+    let mut rank_prob = vec![vec![0.0f64; n]; k];
+    for world in enumerate_worlds(rel) {
+        let mut ids: Vec<ItemId> = (0..n).collect();
+        ids.sort_by(|&a, &b| world.buckets[b].cmp(&world.buckets[a]).then(a.cmp(&b)));
+        for (i, &f) in ids.iter().take(k).enumerate() {
+            rank_prob[i][f] += world.prob;
+        }
+    }
+    rank_prob
+        .into_iter()
+        .map(|probs| {
+            probs
+                .into_iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+                .map(|(f, p)| (f, p))
+                .expect("non-empty")
+        })
+        .collect()
+}
+
+/// Membership probabilities `Pr(f ∈ Top-K)` for every item.
+pub fn topk_membership(rel: &UncertainRelation, k: usize) -> Vec<f64> {
+    assert!(k >= 1 && k <= rel.len(), "K out of range");
+    let n = rel.len();
+    let mut member = vec![0.0f64; n];
+    for world in enumerate_worlds(rel) {
+        for f in topk_of_world(&world, k) {
+            member[f] += world.prob;
+        }
+    }
+    member
+}
+
+/// PT-k: every item whose Top-K membership probability is at least `p`.
+/// May return fewer or more than K items — including the empty set.
+pub fn probabilistic_threshold_topk(
+    rel: &UncertainRelation,
+    k: usize,
+    p: f64,
+) -> Vec<ItemId> {
+    topk_membership(rel, k)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, prob)| prob >= p)
+        .map(|(f, _)| f)
+        .collect()
+}
+
+/// `Pr(S_f = b)` for any item (certain items are point masses).
+fn pmf(rel: &UncertainRelation, id: ItemId, bucket: usize) -> f64 {
+    let lo = if bucket == 0 { 0.0 } else { rel.cdf(id, bucket - 1) };
+    rel.cdf(id, bucket) - lo
+}
+
+/// **Expected ranks** (Cormode, Li & Yi \[19\]): `E[rank(f)]` over possible
+/// worlds, where the rank of `f` in a world counts the items scoring
+/// strictly higher plus half the items tying it (the midpoint convention
+/// makes the statistic symmetric under ties).
+///
+/// Unlike U-TopK / U-KRanks / PT-k, expected ranks are computable in
+/// **polynomial time** — `O(n·m)` here via two global per-bucket tables —
+/// which was \[19\]'s selling point. By linearity of expectation,
+///
+/// ```text
+/// E[rank(f)] = Σ_{g≠f} [ Pr(S_g > S_f) + ½·Pr(S_g = S_f) ]
+///            = Σ_b Pr(S_f = b) · [ (G(b) − Pr(S_f > b)) + ½(T(b) − Pr(S_f = b)) ]
+/// ```
+///
+/// with `G(b) = Σ_g Pr(S_g > b)` and `T(b) = Σ_g Pr(S_g = b)`.
+pub fn expected_ranks(rel: &UncertainRelation) -> Vec<f64> {
+    let n = rel.len();
+    let m = rel.max_bucket() + 1;
+    // G[b] = Σ_g Pr(S_g > b);  T[b] = Σ_g Pr(S_g = b)
+    let mut above = vec![0.0f64; m];
+    let mut tie = vec![0.0f64; m];
+    for g in 0..n {
+        for (b, (a, t)) in above.iter_mut().zip(tie.iter_mut()).enumerate() {
+            *a += 1.0 - rel.cdf(g, b);
+            *t += pmf(rel, g, b);
+        }
+    }
+    (0..n)
+        .map(|f| {
+            (0..m)
+                .map(|b| {
+                    let pf = pmf(rel, f, b);
+                    if pf == 0.0 {
+                        return 0.0;
+                    }
+                    let others_above = above[b] - (1.0 - rel.cdf(f, b));
+                    let others_tie = tie[b] - pf;
+                    pf * (others_above + 0.5 * others_tie)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Expected-rank Top-K: the K items with the smallest expected ranks
+/// (ties by ascending id), together with those ranks.
+pub fn expected_rank_topk(rel: &UncertainRelation, k: usize) -> Vec<(ItemId, f64)> {
+    assert!(k >= 1 && k <= rel.len(), "K out of range");
+    let ranks = expected_ranks(rel);
+    let mut ids: Vec<ItemId> = (0..rel.len()).collect();
+    ids.sort_by(|&a, &b| {
+        ranks[a].partial_cmp(&ranks[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    ids.into_iter().take(k).map(|f| (f, ranks[f])).collect()
+}
+
+/// Brute-force expected ranks via world enumeration (test oracle for
+/// [`expected_ranks`]; exponential).
+pub fn pws_expected_ranks(rel: &UncertainRelation) -> Vec<f64> {
+    let n = rel.len();
+    let mut ranks = vec![0.0f64; n];
+    for world in enumerate_worlds(rel) {
+        for f in 0..n {
+            let mut r = 0.0;
+            for g in 0..n {
+                if g == f {
+                    continue;
+                }
+                match world.buckets[g].cmp(&world.buckets[f]) {
+                    std::cmp::Ordering::Greater => r += 1.0,
+                    std::cmp::Ordering::Equal => r += 0.5,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+            ranks[f] += world.prob * r;
+        }
+    }
+    ranks
+}
+
+/// A side-by-side comparison of every implemented uncertain Top-K
+/// semantic on one relation — the experimental companion of §2's survey
+/// table (used by the `semantics_comparison` bench bin and docs).
+#[derive(Debug, Clone)]
+pub struct SemanticsComparison {
+    pub k: usize,
+    /// U-TopK answer and its (possibly low) probability.
+    pub u_topk: (Vec<ItemId>, f64),
+    /// U-KRanks: per-rank winners (repeats possible).
+    pub u_kranks: Vec<(ItemId, f64)>,
+    /// PT-k at the given threshold (size may differ from K).
+    pub ptk: Vec<ItemId>,
+    pub ptk_threshold: f64,
+    /// Expected-rank Top-K.
+    pub expected_rank: Vec<(ItemId, f64)>,
+}
+
+/// Runs all semantics on one (small) relation.
+pub fn compare_semantics(rel: &UncertainRelation, k: usize, ptk_p: f64) -> SemanticsComparison {
+    SemanticsComparison {
+        k,
+        u_topk: u_topk(rel, k),
+        u_kranks: u_kranks(rel, k),
+        ptk: probabilistic_threshold_topk(rel, k, ptk_p),
+        ptk_threshold: ptk_p,
+        expected_rank: expected_rank_topk(rel, k),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DiscreteDist;
+
+    fn d(masses: &[f64]) -> DiscreteDist {
+        DiscreteDist::from_masses(masses)
+    }
+
+    /// Table 1a's three frames.
+    fn table_1a() -> UncertainRelation {
+        let mut r = UncertainRelation::new(1.0, 2);
+        r.push_uncertain(d(&[0.78, 0.21, 0.01]));
+        r.push_uncertain(d(&[0.49, 0.42, 0.09]));
+        r.push_uncertain(d(&[0.16, 0.48, 0.36]));
+        r
+    }
+
+    #[test]
+    fn u_topk_on_table_1a() {
+        let (set, p) = u_topk(&table_1a(), 1);
+        // f3 dominates: it is the most probable Top-1.
+        assert_eq!(set, vec![2]);
+        assert!(p > 0.5 && p < 1.0, "probability {p}");
+    }
+
+    #[test]
+    fn u_topk_probability_can_be_low() {
+        // The paper's critique: the most probable set may still be unlikely.
+        // Five iid uniform items over 4 buckets: every Top-1 winner is ~1/5.
+        let mut rel = UncertainRelation::new(1.0, 3);
+        for _ in 0..5 {
+            rel.push_uncertain(d(&[0.25, 0.25, 0.25, 0.25]));
+        }
+        let (_, p) = u_topk(&rel, 1);
+        assert!(p < 0.5, "no guarantee: winner probability is only {p}");
+    }
+
+    #[test]
+    fn u_kranks_positions_sum_to_valid_probs() {
+        let ranks = u_kranks(&table_1a(), 2);
+        assert_eq!(ranks.len(), 2);
+        for &(f, p) in &ranks {
+            assert!(f < 3);
+            assert!(p > 0.0 && p <= 1.0);
+        }
+        // rank-1 winner should be f3 (it has the highest counts).
+        assert_eq!(ranks[0].0, 2);
+    }
+
+    #[test]
+    fn u_kranks_rank_probabilities_are_exact() {
+        let mut rel = UncertainRelation::new(1.0, 3);
+        rel.push_uncertain(d(&[0.0, 0.0, 0.5, 0.5])); // strong: always rank 1
+        rel.push_uncertain(d(&[0.9, 0.1, 0.0, 0.0])); // weak
+        rel.push_uncertain(d(&[0.9, 0.1, 0.0, 0.0])); // weak
+        let ranks = u_kranks(&rel, 2);
+        assert_eq!(ranks[0], (0, 1.0), "strong item wins rank 1 certainly");
+        // Rank 2 goes to item 1 except when (item1 = 0, item2 = 1):
+        // Pr = 1 − 0.9·0.1 = 0.91 (ties at 0 break to the lower id).
+        assert_eq!(ranks[1].0, 1);
+        assert!((ranks[1].1 - 0.91).abs() < 1e-9, "got {}", ranks[1].1);
+    }
+
+    #[test]
+    fn membership_probabilities_sum_to_k() {
+        let member = topk_membership(&table_1a(), 2);
+        let total: f64 = member.iter().sum();
+        assert!((total - 2.0).abs() < 1e-9, "Σ membership must equal K, got {total}");
+    }
+
+    #[test]
+    fn ptk_can_return_empty_or_oversized_sets() {
+        // Uniform items: with a high threshold nothing qualifies…
+        let mut rel = UncertainRelation::new(1.0, 3);
+        for _ in 0..6 {
+            rel.push_uncertain(d(&[0.25, 0.25, 0.25, 0.25]));
+        }
+        assert!(probabilistic_threshold_topk(&rel, 1, 0.9).is_empty());
+        // …and with a low threshold more than K items qualify.
+        let many = probabilistic_threshold_topk(&rel, 1, 0.05);
+        assert!(many.len() > 1, "PT-1 returned {} items", many.len());
+    }
+
+    #[test]
+    fn certain_relation_all_semantics_agree() {
+        let mut rel = UncertainRelation::new(1.0, 5);
+        rel.push_certain(5);
+        rel.push_certain(3);
+        rel.push_certain(1);
+        let (set, p) = u_topk(&rel, 2);
+        assert_eq!(set, vec![0, 1]);
+        assert_eq!(p, 1.0);
+        let ranks = u_kranks(&rel, 2);
+        assert_eq!(ranks[0], (0, 1.0));
+        assert_eq!(ranks[1], (1, 1.0));
+        assert_eq!(probabilistic_threshold_topk(&rel, 2, 0.99), vec![0, 1]);
+        let er = expected_rank_topk(&rel, 2);
+        assert_eq!(er[0], (0, 0.0), "the top item has nothing above it");
+        assert_eq!(er[1], (1, 1.0), "exactly one item above");
+    }
+
+    #[test]
+    fn expected_ranks_match_world_enumeration() {
+        for rel in [table_1a(), {
+            let mut r = UncertainRelation::new(1.0, 3);
+            r.push_uncertain(d(&[0.1, 0.2, 0.3, 0.4]));
+            r.push_certain(2);
+            r.push_uncertain(d(&[0.7, 0.0, 0.0, 0.3]));
+            r.push_uncertain(d(&[0.25, 0.25, 0.25, 0.25]));
+            r
+        }] {
+            let fast = expected_ranks(&rel);
+            let brute = pws_expected_ranks(&rel);
+            for (f, (a, b)) in fast.iter().zip(&brute).enumerate() {
+                assert!((a - b).abs() < 1e-9, "item {f}: fast {a} vs brute {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_ranks_sum_is_fixed_by_pair_count() {
+        // Σ_f E[rank(f)] = Σ pairs [Pr(>) + Pr(<) + 2·½·Pr(=)] = C(n,2):
+        // every unordered pair contributes exactly 1 in every world.
+        let rel = table_1a();
+        let total: f64 = expected_ranks(&rel).iter().sum();
+        let n = rel.len() as f64;
+        assert!((total - n * (n - 1.0) / 2.0).abs() < 1e-9, "got {total}");
+    }
+
+    #[test]
+    fn expected_rank_topk_orders_by_rank() {
+        let rel = table_1a();
+        let er = expected_rank_topk(&rel, 3);
+        assert_eq!(er.len(), 3);
+        assert!(er.windows(2).all(|w| w[0].1 <= w[1].1));
+        // f3 has the stochastically largest score → smallest expected rank
+        assert_eq!(er[0].0, 2);
+    }
+
+    #[test]
+    fn expected_ranks_can_disagree_with_u_topk() {
+        // A classic [19]-style example: a bimodal item vs a safe middle
+        // item. The bimodal one wins Top-1 most often (U-Top1 picks it),
+        // but its expected rank is dragged down by the bad mode.
+        let mut rel = UncertainRelation::new(1.0, 4);
+        rel.push_uncertain(d(&[0.45, 0.0, 0.0, 0.0, 0.55])); // bimodal: 0 or 4
+        rel.push_certain(3); // safe: always 3
+        rel.push_certain(2);
+        let (set, _) = u_topk(&rel, 1);
+        assert_eq!(set, vec![0], "U-Top1 picks the gambler");
+        let er = expected_rank_topk(&rel, 1);
+        assert_eq!(er[0].0, 1, "expected rank prefers the safe item");
+    }
+
+    #[test]
+    fn compare_semantics_bundles_everything() {
+        let rel = table_1a();
+        let cmp = compare_semantics(&rel, 2, 0.5);
+        assert_eq!(cmp.k, 2);
+        assert_eq!(cmp.u_kranks.len(), 2);
+        assert_eq!(cmp.expected_rank.len(), 2);
+        assert_eq!(cmp.ptk_threshold, 0.5);
+        // All semantics agree that f3 is a Top-2 member here.
+        assert!(cmp.u_topk.0.contains(&2));
+        assert!(cmp.expected_rank.iter().any(|&(f, _)| f == 2));
+    }
+}

@@ -1,0 +1,246 @@
+//! `Topk-prob` (§3.3.1): the confidence of a candidate Top-K answer.
+//!
+//! Under the certain-result condition, Eq. 2 collapses Eq. 1's exponential
+//! sum over possible worlds to a product over the *uncertain* items:
+//!
+//! ```text
+//! p̂_i = ∏_{f ∈ D_u_i} Pr(S_f ≤ S_k_i)
+//! ```
+//!
+//! The paper precomputes the joint CDF `H(t) = ∏_{f ∈ D_u_0} F_f(t)` once
+//! and divides out cleaned items per evaluation (Eq. 3). We maintain the
+//! same quantity **incrementally in log space**: per bucket `t` we keep the
+//! sum of `log F_f(t)` over currently-uncertain items plus a counter of
+//! items with `F_f(t) = 0`. Cleaning an item removes its factor in
+//! O(#buckets). This is numerically safe where a literal Eq. 3 would divide
+//! by zero when a cleaned item's prior CDF was 0 at the threshold (the
+//! proxy was wrong about it) — a case that does occur in practice.
+
+use crate::dist::DiscreteDist;
+use crate::xtuple::UncertainRelation;
+
+/// Incrementally-maintained joint CDF over the uncertain items.
+#[derive(Debug, Clone)]
+pub struct JointCdf {
+    /// Per bucket `t`: Σ log F_f(t) over uncertain items with F_f(t) > 0.
+    log_sum: Vec<f64>,
+    /// Per bucket `t`: #{uncertain items with F_f(t) = 0}.
+    zero_count: Vec<u32>,
+    /// Number of uncertain items currently contributing.
+    members: usize,
+}
+
+impl JointCdf {
+    /// Builds the joint CDF over every currently-uncertain item of the
+    /// relation (the `H` of Eq. 3, except it tracks cleaning updates).
+    pub fn build(rel: &UncertainRelation) -> Self {
+        let mut h = JointCdf {
+            log_sum: vec![0.0; rel.max_bucket() + 1],
+            zero_count: vec![0; rel.max_bucket() + 1],
+            members: 0,
+        };
+        for id in 0..rel.len() {
+            if let Some(d) = rel.dist(id) {
+                h.add(d);
+            }
+        }
+        h
+    }
+
+    /// Number of buckets in the grid.
+    pub fn num_buckets(&self) -> usize {
+        self.log_sum.len()
+    }
+
+    /// Number of uncertain items currently contributing factors.
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Adds one item's factors.
+    pub fn add(&mut self, dist: &DiscreteDist) {
+        assert_eq!(dist.len(), self.log_sum.len(), "grid mismatch");
+        for t in 0..self.log_sum.len() {
+            let f = dist.cdf(t);
+            if f == 0.0 {
+                self.zero_count[t] += 1;
+            } else {
+                self.log_sum[t] += f.ln();
+            }
+        }
+        self.members += 1;
+    }
+
+    /// Removes one item's factors (call with the distribution returned by
+    /// [`UncertainRelation::clean`]).
+    pub fn remove(&mut self, dist: &DiscreteDist) {
+        assert_eq!(dist.len(), self.log_sum.len(), "grid mismatch");
+        assert!(self.members > 0, "removing from empty joint CDF");
+        for t in 0..self.log_sum.len() {
+            let f = dist.cdf(t);
+            if f == 0.0 {
+                debug_assert!(self.zero_count[t] > 0);
+                self.zero_count[t] -= 1;
+            } else {
+                self.log_sum[t] -= f.ln();
+            }
+        }
+        self.members -= 1;
+    }
+
+    /// `H(t) = ∏_{f uncertain} F_f(t)`; saturates to the all-ones product
+    /// beyond the grid.
+    pub fn value(&self, t: usize) -> f64 {
+        if t >= self.log_sum.len() {
+            return 1.0;
+        }
+        if self.zero_count[t] > 0 {
+            0.0
+        } else {
+            self.log_sum[t].exp()
+        }
+    }
+
+    /// `H(t) / F_f(t)` — the joint CDF excluding one member item, computed
+    /// without division (Eq. 5/6 denominators).
+    pub fn value_excluding(&self, dist: &DiscreteDist, t: usize) -> f64 {
+        if t >= self.log_sum.len() {
+            return 1.0;
+        }
+        let f = dist.cdf(t);
+        if f == 0.0 {
+            // `dist` accounts for one of the zeros; any other zero keeps H at 0.
+            if self.zero_count[t] > 1 {
+                0.0
+            } else {
+                self.log_sum[t].exp()
+            }
+        } else if self.zero_count[t] > 0 {
+            0.0
+        } else {
+            (self.log_sum[t] - f.ln()).exp()
+        }
+    }
+}
+
+/// Eq. 2: the confidence of an answer whose K-th ("threshold") certain item
+/// has bucket `s_k`, given the joint CDF over the current uncertain items.
+///
+/// Returns 1 when no uncertainty remains.
+pub fn topk_prob(h: &JointCdf, s_k: usize) -> f64 {
+    if h.members() == 0 {
+        return 1.0;
+    }
+    h.value(s_k)
+}
+
+/// Direct evaluation of Eq. 2 by multiplying CDFs — the reference
+/// implementation used by tests and the `ablation_eq3` bench.
+pub fn topk_prob_naive(rel: &UncertainRelation, s_k: usize) -> f64 {
+    let mut p = 1.0;
+    for id in 0..rel.len() {
+        if let Some(d) = rel.dist(id) {
+            p *= d.cdf(s_k);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pws::topk_confidence_bruteforce;
+    use crate::xtuple::table_1a;
+
+    #[test]
+    fn matches_naive_product() {
+        let rel = table_1a();
+        let h = JointCdf::build(&rel);
+        for t in 0..=2 {
+            assert!(
+                (h.value(t) - topk_prob_naive(&rel, t)).abs() < 1e-12,
+                "H({t}) mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_bruteforce_after_cleaning() {
+        // Clean f3 to 0 (Table 5) and compare Eq. 2 against Eq. 1.
+        let mut rel = table_1a();
+        let mut h = JointCdf::build(&rel);
+        let old = rel.clean(2, 0);
+        h.remove(&old);
+        // answer {f3} has threshold bucket 0
+        let fast = topk_prob(&h, 0);
+        let brute = topk_confidence_bruteforce(&rel, &[2], 1);
+        assert!((fast - brute).abs() < 1e-12, "fast {fast} vs brute {brute}");
+        assert!((fast - 0.78 * 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_uncertainty_gives_certainty() {
+        let mut rel = UncertainRelation::new(1.0, 2);
+        rel.push_certain(2);
+        let h = JointCdf::build(&rel);
+        assert_eq!(h.members(), 0);
+        assert_eq!(topk_prob(&h, 0), 1.0);
+    }
+
+    #[test]
+    fn zero_cdf_buckets_zero_the_product() {
+        use crate::dist::DiscreteDist;
+        let mut rel = UncertainRelation::new(1.0, 3);
+        // This frame is certainly ≥ 2, so H(0) = H(1) = 0.
+        rel.push_uncertain(DiscreteDist::from_masses(&[0.0, 0.0, 0.5, 0.5]));
+        rel.push_uncertain(DiscreteDist::from_masses(&[0.5, 0.5, 0.0, 0.0]));
+        let h = JointCdf::build(&rel);
+        assert_eq!(h.value(0), 0.0);
+        assert_eq!(h.value(1), 0.0);
+        assert!(h.value(2) > 0.0);
+        assert!((h.value(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_excluding_removes_exactly_one_factor() {
+        use crate::dist::DiscreteDist;
+        let mut rel = UncertainRelation::new(1.0, 2);
+        let d0 = DiscreteDist::from_masses(&[0.5, 0.3, 0.2]);
+        let d1 = DiscreteDist::from_masses(&[0.0, 0.6, 0.4]); // F(0) = 0
+        rel.push_uncertain(d0.clone());
+        rel.push_uncertain(d1.clone());
+        let h = JointCdf::build(&rel);
+        // excluding d1 at t=0: only d0 remains → 0.5
+        assert!((h.value_excluding(&d1, 0) - 0.5).abs() < 1e-12);
+        // excluding d0 at t=0: d1 remains with F(0)=0 → 0
+        assert_eq!(h.value_excluding(&d0, 0), 0.0);
+        // at t=1: H = 0.8 × 0.6; excluding d0 → 0.6
+        assert!((h.value_excluding(&d0, 1) - 0.6).abs() < 1e-12);
+        // beyond grid
+        assert_eq!(h.value_excluding(&d0, 99), 1.0);
+    }
+
+    #[test]
+    fn incremental_removal_matches_rebuild() {
+        let mut rel = table_1a();
+        let mut h = JointCdf::build(&rel);
+        let old = rel.clean(1, 1);
+        h.remove(&old);
+        let rebuilt = JointCdf::build(&rel);
+        for t in 0..=2 {
+            assert!(
+                (h.value(t) - rebuilt.value(t)).abs() < 1e-12,
+                "incremental vs rebuild at {t}"
+            );
+        }
+        assert_eq!(h.members(), rebuilt.members());
+    }
+
+    #[test]
+    fn beyond_grid_saturates() {
+        let rel = table_1a();
+        let h = JointCdf::build(&rel);
+        assert_eq!(h.value(2), 1.0); // every CDF is 1 at the top bucket
+        assert_eq!(h.value(1000), 1.0);
+    }
+}

@@ -1,0 +1,767 @@
+//! Semantic analysis: resolves a parsed [`SelectStmt`] against the catalog
+//! into a validated [`QueryPlan`].
+//!
+//! Everything a user can get wrong — unknown dataset, a score the dataset
+//! cannot serve, a confidence of 1.3, a window longer than the video — is
+//! caught here with a spanned diagnostic (and a "did you mean" hint where
+//! a near-miss candidate exists). Execution never re-validates.
+
+use crate::ast::{ScoreCall, SelectStmt, Target};
+use crate::catalog::{
+    all_class_names, class_by_name, compatible_score, source_by_name, source_names,
+    ScoreFn, SourceEntry,
+};
+use crate::error::{suggest, ErrorKind, EvqlError};
+use crate::plan::{Engine, PlanTarget, QueryPlan};
+use crate::token::Span;
+
+/// Session-level defaults that `SET` can change.
+#[derive(Debug, Clone)]
+pub struct SessionSettings {
+    /// Catalog scale divisor: frame counts are divided by this.
+    pub scale: usize,
+    /// Default probability threshold when a query has no `WITH CONFIDENCE`.
+    pub confidence: f64,
+    /// Default dataset build seed (0 = the source's own default).
+    pub seed: u64,
+    /// Default window sampling fraction (§3.4 uses 10 %).
+    pub sample: f64,
+    /// Default Phase-2 batch size `b`.
+    pub batch: usize,
+    /// Default ψ re-sort period.
+    pub resort: usize,
+}
+
+impl Default for SessionSettings {
+    fn default() -> Self {
+        SessionSettings {
+            // Interactive default: 1/8 of the (already 1/400-scaled)
+            // catalog so a query answers in seconds on a laptop CPU.
+            scale: 8,
+            confidence: 0.9,
+            seed: 0,
+            sample: 0.1,
+            batch: 8,
+            resort: 10,
+        }
+    }
+}
+
+/// Names `SET` accepts (used for suggestions and `SHOW SETTINGS`).
+pub const SETTING_NAMES: [&str; 6] =
+    ["scale", "confidence", "seed", "sample", "batch", "resort"];
+
+impl SessionSettings {
+    /// Applies `SET name = value`; returns a description of the change.
+    pub fn apply(
+        &mut self,
+        name: &str,
+        value: &crate::ast::Literal,
+        span: Span,
+    ) -> Result<String, EvqlError> {
+        let err = |detail: String| {
+            Err(EvqlError::new(
+                ErrorKind::OutOfRange { what: format!("SET {name}"), detail },
+                value.span,
+            ))
+        };
+        match name.to_ascii_lowercase().as_str() {
+            "scale" => match value.as_u64() {
+                Some(v) if v >= 1 => {
+                    self.scale = v as usize;
+                    Ok(format!("scale = {v} (datasets shrink by 1/{v})"))
+                }
+                _ => err("expected an integer ≥ 1".into()),
+            },
+            "confidence" => match value.as_f64() {
+                Some(v) if v > 0.0 && v < 1.0 => {
+                    self.confidence = v;
+                    Ok(format!("confidence = {v}"))
+                }
+                _ => err("expected a number in (0, 1)".into()),
+            },
+            "seed" => match value.as_u64() {
+                Some(v) => {
+                    self.seed = v;
+                    Ok(format!("seed = {v}"))
+                }
+                _ => err("expected a non-negative integer".into()),
+            },
+            "sample" => match value.as_f64() {
+                Some(v) if v > 0.0 && v <= 1.0 => {
+                    self.sample = v;
+                    Ok(format!("sample = {v}"))
+                }
+                _ => err("expected a fraction in (0, 1]".into()),
+            },
+            "batch" => match value.as_u64() {
+                Some(v) if v >= 1 => {
+                    self.batch = v as usize;
+                    Ok(format!("batch = {v}"))
+                }
+                _ => err("expected an integer ≥ 1".into()),
+            },
+            "resort" => match value.as_u64() {
+                Some(v) if v >= 1 => {
+                    self.resort = v as usize;
+                    Ok(format!("resort = {v}"))
+                }
+                _ => err("expected an integer ≥ 1".into()),
+            },
+            other => Err(EvqlError::new(
+                ErrorKind::Unknown {
+                    what: "setting",
+                    name: other.into(),
+                    suggestion: suggest(other, SETTING_NAMES),
+                },
+                span,
+            )),
+        }
+    }
+}
+
+/// The option names a `WITH` clause accepts.
+const OPTION_NAMES: [&str; 6] = ["confidence", "sample", "step", "seed", "batch", "resort"];
+
+/// Analyzes a `SELECT` statement into an executable plan.
+pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan, EvqlError> {
+    // -- dataset --
+    let source = source_by_name(&stmt.source).ok_or_else(|| {
+        let names = source_names();
+        EvqlError::new(
+            ErrorKind::Unknown {
+                what: "dataset",
+                name: stmt.source.clone(),
+                suggestion: suggest(&stmt.source, names.iter().map(|s| s.as_str())),
+            },
+            stmt.source_span,
+        )
+    })?;
+
+    // -- score --
+    let score = match &stmt.score {
+        None => source.default_score,
+        Some(call) => resolve_score(call, &source)?,
+    };
+
+    // -- engine --
+    let engine = match &stmt.engine {
+        None => Engine::Everest,
+        Some((name, span)) => Engine::by_name(name).ok_or_else(|| {
+            let all: Vec<&str> =
+                Engine::all().iter().flat_map(|e| e.aliases().iter().copied()).collect();
+            EvqlError::new(
+                ErrorKind::Unknown {
+                    what: "engine",
+                    name: name.clone(),
+                    suggestion: suggest(name, all),
+                },
+                *span,
+            )
+        })?,
+    };
+
+    // -- options --
+    let mut thres = session.confidence;
+    let mut sample = session.sample;
+    let mut quant_step = score.default_step();
+    let mut seed = session.seed;
+    let mut batch = session.batch;
+    let mut resort = session.resort;
+    for opt in &stmt.options {
+        let lname = opt.name.to_ascii_lowercase();
+        let bad = |detail: &str| {
+            EvqlError::new(
+                ErrorKind::OutOfRange {
+                    what: format!("option `{}`", opt.name),
+                    detail: detail.into(),
+                },
+                opt.value.span,
+            )
+        };
+        match lname.as_str() {
+            "confidence" | "thres" => {
+                thres = opt
+                    .value
+                    .as_f64()
+                    .filter(|v| *v > 0.0 && *v < 1.0)
+                    .ok_or_else(|| bad("expected a probability in (0, 1)"))?;
+            }
+            "sample" => {
+                sample = opt
+                    .value
+                    .as_f64()
+                    .filter(|v| *v > 0.0 && *v <= 1.0)
+                    .ok_or_else(|| bad("expected a fraction in (0, 1]"))?;
+            }
+            "step" => {
+                quant_step = opt
+                    .value
+                    .as_f64()
+                    .filter(|v| *v > 0.0 && v.is_finite())
+                    .ok_or_else(|| bad("expected a positive quantization step"))?;
+            }
+            "seed" => {
+                seed = opt.value.as_u64().ok_or_else(|| bad("expected an integer seed"))?;
+            }
+            "batch" => {
+                batch = opt
+                    .value
+                    .as_u64()
+                    .filter(|v| *v >= 1)
+                    .ok_or_else(|| bad("expected an integer ≥ 1"))?
+                    as usize;
+            }
+            "resort" => {
+                resort = opt
+                    .value
+                    .as_u64()
+                    .filter(|v| *v >= 1)
+                    .ok_or_else(|| bad("expected an integer ≥ 1"))?
+                    as usize;
+            }
+            other => {
+                return Err(EvqlError::new(
+                    ErrorKind::Unknown {
+                        what: "option",
+                        name: other.into(),
+                        suggestion: suggest(other, OPTION_NAMES),
+                    },
+                    opt.name_span,
+                ))
+            }
+        }
+    }
+
+    // -- target --
+    let n_frames = source.scaled_frames(session.scale);
+    let target = match stmt.target {
+        Target::Frames => PlanTarget::Frames,
+        Target::Windows { len, len_span, slide } => {
+            if len == 0 {
+                return Err(EvqlError::new(
+                    ErrorKind::OutOfRange {
+                        what: "window length".into(),
+                        detail: "must be at least 1 frame".into(),
+                    },
+                    len_span,
+                ));
+            }
+            if len as usize > n_frames {
+                return Err(EvqlError::new(
+                    ErrorKind::OutOfRange {
+                        what: "window length".into(),
+                        detail: format!(
+                            "window of {len} frames exceeds the video ({n_frames} frames at scale 1/{})",
+                            session.scale
+                        ),
+                    },
+                    len_span,
+                ));
+            }
+            let slide_frames = match slide {
+                None => len,
+                Some((s, s_span)) => {
+                    if s == 0 || s > len {
+                        return Err(EvqlError::new(
+                            ErrorKind::OutOfRange {
+                                what: "slide".into(),
+                                detail: format!(
+                                    "must be between 1 and the window length ({len})"
+                                ),
+                            },
+                            s_span,
+                        ));
+                    }
+                    s
+                }
+            };
+            if engine != Engine::Everest && engine != Engine::Scan {
+                return Err(EvqlError::new(
+                    ErrorKind::Incompatible(format!(
+                        "engine `{}` only supports frame queries; window queries \
+                         need `everest` or `scan`",
+                        engine.display()
+                    )),
+                    stmt.engine.as_ref().map_or(len_span, |(_, s)| *s),
+                ));
+            }
+            PlanTarget::Windows {
+                len: len as usize,
+                slide: slide_frames as usize,
+                sample_frac: sample,
+            }
+        }
+    };
+
+    // -- K --
+    if stmt.k == 0 {
+        return Err(EvqlError::new(
+            ErrorKind::OutOfRange { what: "K".into(), detail: "must be at least 1".into() },
+            stmt.k_span,
+        ));
+    }
+    let mut plan = QueryPlan {
+        source,
+        score,
+        k: stmt.k as usize,
+        target,
+        engine,
+        thres,
+        seed,
+        quant_step,
+        batch,
+        resort_period: resort,
+        scale_divisor: session.scale,
+        n_frames,
+    };
+    let n_items = plan.n_items();
+    if plan.k > n_items {
+        return Err(EvqlError::new(
+            ErrorKind::OutOfRange {
+                what: "K".into(),
+                detail: format!(
+                    "K={} exceeds the {} rankable {} at scale 1/{}",
+                    plan.k,
+                    n_items,
+                    match plan.target {
+                        PlanTarget::Frames => "frames",
+                        PlanTarget::Windows { .. } => "windows",
+                    },
+                    session.scale
+                ),
+            },
+            stmt.k_span,
+        ));
+    }
+    // Hygiene: the certain-result condition needs at least one oracle call
+    // per answer; a K of the full item count degenerates to scan-and-test.
+    if plan.k == n_items && plan.engine == Engine::Everest {
+        plan.engine = Engine::Scan;
+    }
+    Ok(plan)
+}
+
+/// Analyzes a `SELECT SKYLINE` statement into a [`crate::plan::SkylinePlan`].
+pub fn analyze_skyline(
+    stmt: &crate::ast::SkylineStmt,
+    session: &SessionSettings,
+) -> Result<crate::plan::SkylinePlan, EvqlError> {
+    let source = source_by_name(&stmt.source).ok_or_else(|| {
+        let names = source_names();
+        EvqlError::new(
+            ErrorKind::Unknown {
+                what: "dataset",
+                name: stmt.source.clone(),
+                suggestion: suggest(&stmt.source, names.iter().map(|s| s.as_str())),
+            },
+            stmt.source_span,
+        )
+    })?;
+
+    // Resolve dimensions: explicit list, or the dataset's default pair.
+    let scores: Vec<ScoreFn> = if stmt.scores.is_empty() {
+        match &source.kind {
+            crate::catalog::SourceKind::Counting(spec) => {
+                vec![ScoreFn::Count(spec.object_class), ScoreFn::Coverage]
+            }
+            _ => {
+                return Err(EvqlError::new(
+                    ErrorKind::Incompatible(format!(
+                        "dataset `{}` has no default skyline dimensions; \
+                         only the counting datasets pair count(<class>) with \
+                         coverage(). Spell the dimensions out: \
+                         SELECT SKYLINE OF f1(), f2() FROM …",
+                        source.name
+                    )),
+                    stmt.skyline_span,
+                ))
+            }
+        }
+    } else {
+        if !(2..=3).contains(&stmt.scores.len()) {
+            return Err(EvqlError::new(
+                ErrorKind::OutOfRange {
+                    what: "SKYLINE OF".into(),
+                    detail: format!(
+                        "needs 2 or 3 scoring dimensions, got {}",
+                        stmt.scores.len()
+                    ),
+                },
+                stmt.skyline_span,
+            ));
+        }
+        let mut out = Vec::with_capacity(stmt.scores.len());
+        for call in &stmt.scores {
+            let s = resolve_score(call, &source)?;
+            if out.contains(&s) {
+                return Err(EvqlError::new(
+                    ErrorKind::Incompatible(format!(
+                        "duplicate skyline dimension {}",
+                        s.display()
+                    )),
+                    call.span,
+                ));
+            }
+            out.push(s);
+        }
+        out
+    };
+
+    // Options: CONFIDENCE / SEED / BATCH only.
+    let mut thres = session.confidence;
+    let mut seed = session.seed;
+    let mut batch = session.batch;
+    for opt in &stmt.options {
+        let bad = |detail: &str| {
+            EvqlError::new(
+                ErrorKind::OutOfRange {
+                    what: format!("option `{}`", opt.name),
+                    detail: detail.into(),
+                },
+                opt.value.span,
+            )
+        };
+        match opt.name.to_ascii_lowercase().as_str() {
+            "confidence" | "thres" => {
+                thres = opt
+                    .value
+                    .as_f64()
+                    .filter(|v| *v > 0.0 && *v < 1.0)
+                    .ok_or_else(|| bad("expected a probability in (0, 1)"))?;
+            }
+            "seed" => {
+                seed = opt.value.as_u64().ok_or_else(|| bad("expected an integer seed"))?;
+            }
+            "batch" => {
+                batch = opt
+                    .value
+                    .as_u64()
+                    .filter(|v| *v >= 1)
+                    .ok_or_else(|| bad("expected an integer ≥ 1"))?
+                    as usize;
+            }
+            other => {
+                return Err(EvqlError::new(
+                    ErrorKind::Unknown {
+                        what: "skyline option",
+                        name: other.into(),
+                        suggestion: suggest(other, ["confidence", "seed", "batch"]),
+                    },
+                    opt.name_span,
+                ))
+            }
+        }
+    }
+
+    let n_frames = source.scaled_frames(session.scale);
+    Ok(crate::plan::SkylinePlan {
+        source,
+        scores,
+        thres,
+        seed,
+        batch,
+        scale_divisor: session.scale,
+        n_frames,
+    })
+}
+
+fn resolve_score(call: &ScoreCall, source: &SourceEntry) -> Result<ScoreFn, EvqlError> {
+    let score = match call.name.to_ascii_lowercase().as_str() {
+        "count" => {
+            if call.args.len() != 1 {
+                return Err(EvqlError::new(
+                    ErrorKind::OutOfRange {
+                        what: "count(...)".into(),
+                        detail: format!(
+                            "takes exactly one object class, got {}",
+                            call.args.len()
+                        ),
+                    },
+                    call.span,
+                ));
+            }
+            let arg = &call.args[0];
+            let word = arg.as_word().ok_or_else(|| {
+                EvqlError::new(
+                    ErrorKind::OutOfRange {
+                        what: "count(...)".into(),
+                        detail: "the object class must be a name, e.g. count(car)".into(),
+                    },
+                    arg.span,
+                )
+            })?;
+            let class = class_by_name(word).ok_or_else(|| {
+                EvqlError::new(
+                    ErrorKind::Unknown {
+                        what: "object class",
+                        name: word.into(),
+                        suggestion: suggest(word, all_class_names()),
+                    },
+                    arg.span,
+                )
+            })?;
+            ScoreFn::Count(class)
+        }
+        "tailgating" | "sentiment" | "coverage" => {
+            if !call.args.is_empty() {
+                return Err(EvqlError::new(
+                    ErrorKind::OutOfRange {
+                        what: format!("{}()", call.name),
+                        detail: "takes no arguments".into(),
+                    },
+                    call.span,
+                ));
+            }
+            match call.name.to_ascii_lowercase().as_str() {
+                "tailgating" => ScoreFn::Tailgating,
+                "sentiment" => ScoreFn::Sentiment,
+                _ => ScoreFn::Coverage,
+            }
+        }
+        other => {
+            return Err(EvqlError::new(
+                ErrorKind::Unknown {
+                    what: "scoring function",
+                    name: other.into(),
+                    suggestion: suggest(other, ["count", "coverage", "tailgating", "sentiment"]),
+                },
+                call.name_span,
+            ))
+        }
+    };
+    compatible_score(source, score)
+        .map_err(|msg| EvqlError::new(ErrorKind::Incompatible(msg), call.span))?;
+    Ok(score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use everest_video::scene::ObjectClass;
+
+    fn plan_of(src: &str) -> Result<QueryPlan, EvqlError> {
+        let stmt = match parse(src).unwrap() {
+            crate::ast::Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        };
+        analyze(&stmt, &SessionSettings::default())
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let p = plan_of("SELECT TOP 10 FRAMES FROM Archie").unwrap();
+        assert_eq!(p.score, ScoreFn::Count(ObjectClass::Car), "dataset default score");
+        assert_eq!(p.engine, Engine::Everest);
+        assert_eq!(p.thres, 0.9);
+        assert_eq!(p.quant_step, 1.0);
+        assert_eq!(p.batch, 8);
+    }
+
+    #[test]
+    fn options_override_defaults() {
+        let p = plan_of(
+            "SELECT TOP 10 FRAMES FROM Archie WITH CONFIDENCE 0.75, SEED 9, BATCH 2, RESORT 5",
+        )
+        .unwrap();
+        assert_eq!(p.thres, 0.75);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.batch, 2);
+        assert_eq!(p.resort_period, 5);
+    }
+
+    #[test]
+    fn unknown_dataset_suggests() {
+        let e = plan_of("SELECT TOP 10 FRAMES FROM Grand-Chanel").unwrap_err();
+        assert!(e.message().contains("did you mean `Grand-Canal`"), "{}", e.message());
+    }
+
+    #[test]
+    fn unknown_option_suggests() {
+        let e = plan_of("SELECT TOP 10 FRAMES FROM Archie WITH CONFIDANCE 0.9").unwrap_err();
+        assert!(e.message().contains("did you mean `confidence`"), "{}", e.message());
+    }
+
+    #[test]
+    fn unknown_engine_suggests() {
+        let e = plan_of("SELECT TOP 10 FRAMES FROM Archie USING noscop").unwrap_err();
+        assert!(e.message().contains("did you mean `noscope`"), "{}", e.message());
+    }
+
+    #[test]
+    fn wrong_class_for_dataset_is_incompatible() {
+        let e = plan_of("SELECT TOP 10 FRAMES FROM Grand-Canal SCORE count(car)").unwrap_err();
+        assert!(e.message().contains("annotated for `boat`"), "{}", e.message());
+    }
+
+    #[test]
+    fn score_arity_is_checked() {
+        let e = plan_of("SELECT TOP 10 FRAMES FROM Archie SCORE count()").unwrap_err();
+        assert!(e.message().contains("exactly one"), "{}", e.message());
+        let e =
+            plan_of("SELECT TOP 10 FRAMES FROM Dashcam-California SCORE tailgating(5)")
+                .unwrap_err();
+        assert!(e.message().contains("no arguments"), "{}", e.message());
+    }
+
+    #[test]
+    fn confidence_must_be_a_probability() {
+        for bad in ["0", "1", "1.5", "car"] {
+            let q = format!("SELECT TOP 10 FRAMES FROM Archie WITH CONFIDENCE {bad}");
+            assert!(plan_of(&q).is_err(), "CONFIDENCE {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn k_zero_and_k_too_large_rejected() {
+        let e = plan_of("SELECT TOP 0 FRAMES FROM Archie").unwrap_err();
+        assert!(e.message().contains("at least 1"), "{}", e.message());
+        let e = plan_of("SELECT TOP 99999999 FRAMES FROM Archie").unwrap_err();
+        assert!(e.message().contains("exceeds"), "{}", e.message());
+    }
+
+    #[test]
+    fn window_length_validated_against_video() {
+        let e = plan_of("SELECT TOP 2 WINDOWS OF 999999 FRAMES FROM Archie").unwrap_err();
+        assert!(e.message().contains("exceeds the video"), "{}", e.message());
+    }
+
+    #[test]
+    fn slide_must_not_exceed_length() {
+        let e = plan_of("SELECT TOP 2 WINDOWS OF 30 FRAMES SLIDE 31 FROM Archie").unwrap_err();
+        assert!(e.message().contains("between 1 and the window length"), "{}", e.message());
+        let p = plan_of("SELECT TOP 2 WINDOWS OF 30 FRAMES SLIDE 30 FROM Archie").unwrap();
+        match p.target {
+            PlanTarget::Windows { len, slide, .. } => {
+                assert_eq!((len, slide), (30, 30));
+            }
+            t => panic!("{t:?}"),
+        }
+    }
+
+    #[test]
+    fn default_slide_is_tumbling() {
+        let p = plan_of("SELECT TOP 2 WINDOWS OF 60 FRAMES FROM Archie").unwrap();
+        match p.target {
+            PlanTarget::Windows { len, slide, sample_frac } => {
+                assert_eq!((len, slide), (60, 60));
+                assert_eq!(sample_frac, 0.1, "session default sampling");
+            }
+            t => panic!("{t:?}"),
+        }
+    }
+
+    #[test]
+    fn windows_need_a_capable_engine() {
+        let e = plan_of("SELECT TOP 2 WINDOWS OF 30 FRAMES FROM Archie USING hog").unwrap_err();
+        assert!(e.message().contains("only supports frame queries"), "{}", e.message());
+        assert!(plan_of("SELECT TOP 2 WINDOWS OF 30 FRAMES FROM Archie USING scan").is_ok());
+    }
+
+    #[test]
+    fn continuous_scores_pick_up_udf_step() {
+        let p = plan_of("SELECT TOP 5 FRAMES FROM Dashcam-California").unwrap();
+        assert_eq!(p.score, ScoreFn::Tailgating);
+        assert_eq!(p.quant_step, everest_models::depth::TAILGATING_QUANTIZATION_STEP);
+        let p = plan_of("SELECT TOP 5 FRAMES FROM Dashcam-California WITH STEP 0.1").unwrap();
+        assert_eq!(p.quant_step, 0.1);
+    }
+
+    #[test]
+    fn k_equal_to_item_count_degrades_to_scan() {
+        // At default scale Archie floors to 2000 frames; K = 2000 must not
+        // try to "clean" its way to the full set one batch at a time.
+        let n = source_by_name("Archie").unwrap().scaled_frames(8);
+        let p = plan_of(&format!("SELECT TOP {n} FRAMES FROM Archie")).unwrap();
+        assert_eq!(p.engine, Engine::Scan);
+    }
+
+    #[test]
+    fn settings_apply_and_validate() {
+        let mut s = SessionSettings::default();
+        let lit = |v: crate::ast::LiteralValue| crate::ast::Literal {
+            value: v,
+            span: Span::new(0, 0),
+        };
+        s.apply("scale", &lit(crate::ast::LiteralValue::Int(2)), Span::new(0, 0)).unwrap();
+        assert_eq!(s.scale, 2);
+        s.apply("confidence", &lit(crate::ast::LiteralValue::Float(0.99)), Span::new(0, 0))
+            .unwrap();
+        assert_eq!(s.confidence, 0.99);
+        assert!(s
+            .apply("confidence", &lit(crate::ast::LiteralValue::Float(2.0)), Span::new(0, 0))
+            .is_err());
+        let err = s
+            .apply("scal", &lit(crate::ast::LiteralValue::Int(2)), Span::new(0, 0))
+            .unwrap_err();
+        assert!(err.message().contains("did you mean `scale`"), "{}", err.message());
+    }
+
+    use crate::catalog::source_by_name;
+    use crate::token::Span;
+
+    // ---- skyline analysis ----
+
+    fn skyline_plan_of(src: &str) -> Result<crate::plan::SkylinePlan, EvqlError> {
+        let stmt = match parse(src).unwrap() {
+            crate::ast::Statement::Skyline(s) => s,
+            other => panic!("expected SKYLINE, got {other:?}"),
+        };
+        analyze_skyline(&stmt, &SessionSettings::default())
+    }
+
+    #[test]
+    fn skyline_default_pair_on_counting_datasets() {
+        let p = skyline_plan_of("SELECT SKYLINE FROM Grand-Canal").unwrap();
+        assert_eq!(
+            p.scores,
+            vec![ScoreFn::Count(ObjectClass::Boat), ScoreFn::Coverage]
+        );
+        assert_eq!(p.thres, 0.9);
+    }
+
+    #[test]
+    fn skyline_has_no_default_on_single_score_datasets() {
+        let e = skyline_plan_of("SELECT SKYLINE FROM Vlog").unwrap_err();
+        assert!(e.message().contains("no default skyline dimensions"), "{}", e.message());
+    }
+
+    #[test]
+    fn skyline_rejects_duplicate_and_wrong_arity_dimensions() {
+        let e = skyline_plan_of(
+            "SELECT SKYLINE OF count(car), count(car) FROM Archie",
+        )
+        .unwrap_err();
+        assert!(e.message().contains("duplicate"), "{}", e.message());
+        let e = skyline_plan_of("SELECT SKYLINE OF count(car) FROM Archie").unwrap_err();
+        assert!(e.message().contains("2 or 3"), "{}", e.message());
+    }
+
+    #[test]
+    fn skyline_dimensions_must_fit_the_dataset() {
+        let e = skyline_plan_of(
+            "SELECT SKYLINE OF count(car), tailgating() FROM Archie",
+        )
+        .unwrap_err();
+        assert!(e.message().contains("cannot run"), "{}", e.message());
+        // coverage on a counting dataset with explicit matching count: ok
+        assert!(skyline_plan_of(
+            "SELECT SKYLINE OF count(boat), coverage() FROM Grand-Canal"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn skyline_option_validation_and_suggestions() {
+        let p = skyline_plan_of(
+            "SELECT SKYLINE FROM Archie WITH CONFIDENCE 0.8, SEED 5, BATCH 2",
+        )
+        .unwrap();
+        assert_eq!((p.thres, p.seed, p.batch), (0.8, 5, 2));
+        let e = skyline_plan_of("SELECT SKYLINE FROM Archie WITH SAMPLE 0.1").unwrap_err();
+        assert!(e.message().contains("unknown skyline option"), "{}", e.message());
+        let e = skyline_plan_of("SELECT SKYLINE FROM Archie WITH CONFIDENEC 0.8").unwrap_err();
+        assert!(e.message().contains("did you mean `confidence`"), "{}", e.message());
+    }
+}

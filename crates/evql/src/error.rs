@@ -1,0 +1,190 @@
+//! EVQL error type with source-anchored rendering.
+//!
+//! Every error carries the [`Span`] it refers to; [`EvqlError::render`]
+//! produces a compiler-style message with the offending line and a caret
+//! underline, so that CLI users see *where* a query went wrong:
+//!
+//! ```text
+//! error: unknown dataset `Grand-Chanel` (did you mean `Grand-Canal`?)
+//!   | SELECT TOP 50 FRAMES FROM Grand-Chanel
+//!   |                            ^^^^^^^^^^^^
+//! ```
+
+use crate::token::Span;
+use std::fmt;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Lexer: a character that cannot start any token.
+    UnexpectedChar(char),
+    /// Lexer: a string literal missing its closing quote.
+    UnterminatedString,
+    /// Lexer: a numeric literal that does not parse.
+    BadNumber(String),
+    /// Parser: got one thing, wanted another.
+    Expected { wanted: String, got: String },
+    /// Parser: query ended too early.
+    UnexpectedEnd { wanted: String },
+    /// Parser: trailing tokens after a complete statement.
+    TrailingInput,
+    /// Analysis: a name (dataset, score fn, engine, option) did not resolve.
+    Unknown { what: &'static str, name: String, suggestion: Option<String> },
+    /// Analysis: a value is outside its legal range.
+    OutOfRange { what: String, detail: String },
+    /// Analysis: query parts that do not fit together
+    /// (e.g. `SCORE tailgating()` on a traffic dataset).
+    Incompatible(String),
+    /// Execution-time failure (dataset build, oracle, …).
+    Exec(String),
+}
+
+/// An EVQL front-end error: kind + location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvqlError {
+    pub kind: ErrorKind,
+    pub span: Span,
+}
+
+impl EvqlError {
+    pub fn new(kind: ErrorKind, span: Span) -> Self {
+        EvqlError { kind, span }
+    }
+
+    /// Short one-line message (no source excerpt).
+    pub fn message(&self) -> String {
+        match &self.kind {
+            ErrorKind::UnexpectedChar(c) => format!("unexpected character `{c}`"),
+            ErrorKind::UnterminatedString => "unterminated string literal".into(),
+            ErrorKind::BadNumber(s) => format!("malformed number `{s}`"),
+            ErrorKind::Expected { wanted, got } => format!("expected {wanted}, found {got}"),
+            ErrorKind::UnexpectedEnd { wanted } => {
+                format!("expected {wanted}, but the query ended")
+            }
+            ErrorKind::TrailingInput => "unexpected input after the end of the statement".into(),
+            ErrorKind::Unknown { what, name, suggestion } => match suggestion {
+                Some(s) => format!("unknown {what} `{name}` (did you mean `{s}`?)"),
+                None => format!("unknown {what} `{name}`"),
+            },
+            ErrorKind::OutOfRange { what, detail } => format!("{what}: {detail}"),
+            ErrorKind::Incompatible(msg) => msg.clone(),
+            ErrorKind::Exec(msg) => msg.clone(),
+        }
+    }
+
+    /// Full compiler-style rendering against the original query text.
+    pub fn render(&self, src: &str) -> String {
+        let mut out = format!("error: {}\n", self.message());
+        // Find the line containing span.start.
+        let start = self.span.start.min(src.len());
+        let line_start = src[..start].rfind('\n').map_or(0, |p| p + 1);
+        let line_end = src[start..].find('\n').map_or(src.len(), |p| start + p);
+        let line = &src[line_start..line_end];
+        if !line.is_empty() || start < src.len() {
+            out.push_str(&format!("  | {line}\n"));
+            let col = start - line_start;
+            let width = (self.span.end.min(line_end).saturating_sub(start)).max(1);
+            out.push_str(&format!("  | {}{}\n", " ".repeat(col), "^".repeat(width)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for EvqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message())
+    }
+}
+
+impl std::error::Error for EvqlError {}
+
+/// Case-insensitive Levenshtein distance, used for "did you mean" hints.
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(|c| c.to_lowercase()).collect();
+    let b: Vec<char> = b.chars().flat_map(|c| c.to_lowercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within an edit distance budget, for hints.
+pub(crate) fn suggest<'a, I>(name: &str, candidates: I) -> Option<String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(name, c), c))
+        .filter(|&(d, c)| d <= (c.len() / 2).max(2))
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("top", "top"), 0);
+        assert_eq!(edit_distance("Top", "top"), 0, "case-insensitive");
+        assert_eq!(edit_distance("tpo", "top"), 2); // transposition = 2 plain edits
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn suggest_picks_nearest_within_budget() {
+        let cands = ["archie", "grand-canal", "taipei-bus"];
+        assert_eq!(suggest("archi", cands).as_deref(), Some("archie"));
+        assert_eq!(suggest("grand-chanel", cands).as_deref(), Some("grand-canal"));
+        assert_eq!(suggest("zzzzzz", cands), None, "too far from everything");
+    }
+
+    #[test]
+    fn render_points_at_the_span() {
+        let src = "SELECT TOP 50 FRAMES FROM nowhere";
+        let err = EvqlError::new(
+            ErrorKind::Unknown { what: "dataset", name: "nowhere".into(), suggestion: None },
+            Span::new(26, 33),
+        );
+        let rendered = err.render(src);
+        assert!(rendered.contains("unknown dataset `nowhere`"), "{rendered}");
+        assert!(rendered.contains("^^^^^^^"), "{rendered}");
+        // caret under the right column
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(caret_line.find('^').unwrap() - "  | ".len(), 26);
+    }
+
+    #[test]
+    fn render_handles_end_of_input() {
+        let src = "SELECT TOP 5";
+        let err = EvqlError::new(
+            ErrorKind::UnexpectedEnd { wanted: "`FRAMES` or `WINDOWS`".into() },
+            Span::point(src.len()),
+        );
+        let rendered = err.render(src);
+        assert!(rendered.contains("the query ended"), "{rendered}");
+    }
+
+    #[test]
+    fn render_multiline_source_excerpts_right_line() {
+        let src = "SELECT TOP 5 FRAMES\nFROM mars\nWITH CONFIDENCE 0.9";
+        let from = src.find("mars").unwrap();
+        let err = EvqlError::new(
+            ErrorKind::Unknown { what: "dataset", name: "mars".into(), suggestion: None },
+            Span::new(from, from + 4),
+        );
+        let rendered = err.render(src);
+        assert!(rendered.contains("| FROM mars"), "{rendered}");
+        assert!(!rendered.contains("SELECT"), "only the offending line: {rendered}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Hand-written lexer for EVQL.
+//!
+//! Produces a flat [`Token`] vector; all position information is byte-based
+//! [`Span`]s into the original source, so errors at any later stage can be
+//! rendered with carets. Identifiers may contain `-` after the first
+//! character (EVQL has no subtraction) which lets the paper's dataset names
+//! (`Grand-Canal`, `Daxi-old-street`) be written bare.
+
+use crate::error::{ErrorKind, EvqlError};
+use crate::token::{Span, Token, TokenKind};
+
+/// Lexes a full query string.
+pub fn lex(src: &str) -> Result<Vec<Token>, EvqlError> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, EvqlError> {
+        let mut out = Vec::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'-' if self.peek_at(self.pos + 1) == Some(b'-') => self.skip_line_comment(),
+                b'(' => out.push(self.punct(TokenKind::LParen)),
+                b')' => out.push(self.punct(TokenKind::RParen)),
+                b',' => out.push(self.punct(TokenKind::Comma)),
+                b'=' => out.push(self.punct(TokenKind::Eq)),
+                b';' => out.push(self.punct(TokenKind::Semi)),
+                b'\'' | b'"' => out.push(self.string(b)?),
+                b'0'..=b'9' => out.push(self.number()?),
+                b'.' if matches!(self.peek_at(self.pos + 1), Some(b'0'..=b'9')) => {
+                    out.push(self.number()?)
+                }
+                _ if is_ident_start(b) => out.push(self.ident()),
+                _ => {
+                    let ch = self.src[self.pos..].chars().next().unwrap_or('?');
+                    return Err(EvqlError::new(
+                        ErrorKind::UnexpectedChar(ch),
+                        Span::new(self.pos, self.pos + ch.len_utf8()),
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn peek_at(&self, i: usize) -> Option<u8> {
+        self.bytes.get(i).copied()
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            if b == b'\n' {
+                break;
+            }
+        }
+    }
+
+    fn punct(&mut self, kind: TokenKind) -> Token {
+        let span = Span::new(self.pos, self.pos + 1);
+        self.pos += 1;
+        Token { kind, span }
+    }
+
+    fn string(&mut self, quote: u8) -> Result<Token, EvqlError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let content_start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == quote {
+                let s = self.src[content_start..self.pos].to_string();
+                self.pos += 1; // closing quote
+                return Ok(Token {
+                    kind: TokenKind::Str(s),
+                    span: Span::new(start, self.pos),
+                });
+            }
+            self.pos += 1;
+        }
+        Err(EvqlError::new(ErrorKind::UnterminatedString, Span::new(start, self.pos)))
+    }
+
+    fn number(&mut self) -> Result<Token, EvqlError> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'.' if !saw_dot && !saw_exp => {
+                    saw_dot = true;
+                    self.pos += 1;
+                }
+                b'e' | b'E' if !saw_exp => {
+                    saw_exp = true;
+                    self.pos += 1;
+                    if matches!(self.peek_at(self.pos), Some(b'+') | Some(b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let clean: String = text.chars().filter(|&c| c != '_').collect();
+        let span = Span::new(start, self.pos);
+        let kind = if saw_dot || saw_exp {
+            clean
+                .parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| EvqlError::new(ErrorKind::BadNumber(text.into()), span))?
+        } else {
+            clean
+                .parse::<u64>()
+                .map(TokenKind::Int)
+                .map_err(|_| EvqlError::new(ErrorKind::BadNumber(text.into()), span))?
+        };
+        Ok(Token { kind, span })
+    }
+
+    fn ident(&mut self) -> Token {
+        let start = self.pos;
+        self.pos += 1;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            // A hyphen continues the identifier only when followed by an
+            // identifier character: `top-k` lexes as one word, but a
+            // trailing `-` does not get swallowed.
+            let cont = is_ident_continue(b)
+                || (b == b'-' && self.peek_at(self.pos + 1).is_some_and(is_ident_continue));
+            if !cont {
+                break;
+            }
+            self.pos += 1;
+        }
+        Token {
+            kind: TokenKind::Ident(self.src[start..self.pos].to_string()),
+            span: Span::new(start, self.pos),
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_full_query() {
+        let ks = kinds("SELECT TOP 50 FRAMES FROM Archie WITH CONFIDENCE 0.9");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("TOP".into()),
+                TokenKind::Int(50),
+                TokenKind::Ident("FRAMES".into()),
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("Archie".into()),
+                TokenKind::Ident("WITH".into()),
+                TokenKind::Ident("CONFIDENCE".into()),
+                TokenKind::Float(0.9),
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_dataset_names_are_single_idents() {
+        assert_eq!(kinds("Grand-Canal"), vec![TokenKind::Ident("Grand-Canal".into())]);
+        assert_eq!(
+            kinds("Daxi-old-street"),
+            vec![TokenKind::Ident("Daxi-old-street".into())]
+        );
+    }
+
+    #[test]
+    fn trailing_hyphen_is_not_swallowed() {
+        // `foo-` = ident `foo` then an error on the dangling hyphen (no
+        // token starts with `-`).
+        let err = lex("foo- bar").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnexpectedChar('-'));
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        let ks = kinds("SELECT -- top k\nTOP 5");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("TOP".into()),
+                TokenKind::Int(5),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_ints_floats_exponents_underscores() {
+        assert_eq!(kinds("42"), vec![TokenKind::Int(42)]);
+        assert_eq!(kinds("0.75"), vec![TokenKind::Float(0.75)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Float(0.5)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Float(1000.0)]);
+        assert_eq!(kinds("2.5E-2"), vec![TokenKind::Float(0.025)]);
+        assert_eq!(kinds("81_220"), vec![TokenKind::Int(81_220)]);
+    }
+
+    #[test]
+    fn strings_both_quote_styles() {
+        assert_eq!(kinds("'Grand-Canal'"), vec![TokenKind::Str("Grand-Canal".into())]);
+        assert_eq!(kinds("\"x y\""), vec![TokenKind::Str("x y".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_span() {
+        let err = lex("FROM 'oops").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnterminatedString);
+        assert_eq!(err.span.start, 5);
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        let err = lex("SELECT @").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnexpectedChar('@'));
+        assert_eq!(err.span.start, 7);
+    }
+
+    #[test]
+    fn punctuation_and_spans() {
+        let toks = lex("count(car), k=5;").unwrap();
+        let ks: Vec<_> = toks.iter().map(|t| t.kind.clone()).collect();
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("count".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("car".into()),
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Ident("k".into()),
+                TokenKind::Eq,
+                TokenKind::Int(5),
+                TokenKind::Semi,
+            ]
+        );
+        // spans reconstruct the source
+        assert_eq!(&"count(car), k=5;"[toks[0].span.start..toks[0].span.end], "count");
+        assert_eq!(&"count(car), k=5;"[toks[7].span.start..toks[7].span.end], "5");
+    }
+
+    #[test]
+    fn empty_and_whitespace_only_inputs() {
+        assert!(lex("").unwrap().is_empty());
+        assert!(lex("  \n\t ").unwrap().is_empty());
+        assert!(lex("-- only a comment").unwrap().is_empty());
+    }
+
+    #[test]
+    fn huge_int_is_a_bad_number() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::BadNumber(_)));
+    }
+}

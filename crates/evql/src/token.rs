@@ -1,0 +1,117 @@
+//! Token stream produced by the [`crate::lexer`].
+//!
+//! EVQL keywords are *contextual*: the lexer emits every word as
+//! [`TokenKind::Ident`] and the parser matches keywords case-insensitively.
+//! This keeps the grammar extensible (a dataset may be called `scan`) and
+//! lets identifiers contain hyphens, which the paper's dataset names
+//! (`Grand-Canal`, `Daxi-old-street`) require. Hyphenated identifiers are
+//! unambiguous because EVQL has no arithmetic.
+
+use std::fmt;
+
+/// A half-open byte range into the query source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span {start}..{end} inverted");
+        Span { start, end }
+    }
+
+    /// A zero-width span (used for end-of-input errors).
+    pub fn point(at: usize) -> Self {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A word: keyword, dataset name, option name, score function…
+    Ident(String),
+    /// An unsigned integer literal.
+    Int(u64),
+    /// A floating-point literal (contains `.` or an exponent).
+    Float(f64),
+    /// A single- or double-quoted string literal (quotes stripped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Eq,
+    Semi,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("number `{v}`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Semi => "`;`".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// One lexed token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+impl Token {
+    /// True when this token is the (case-insensitive) keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn keyword_match_is_case_insensitive() {
+        let t = Token { kind: TokenKind::Ident("Select".into()), span: Span::new(0, 6) };
+        assert!(t.is_kw("SELECT"));
+        assert!(t.is_kw("select"));
+        assert!(!t.is_kw("from"));
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(TokenKind::Ident("top".into()).describe(), "`top`");
+        assert_eq!(TokenKind::Int(50).describe(), "integer `50`");
+        assert_eq!(TokenKind::Comma.describe(), "`,`");
+    }
+}

@@ -1,0 +1,41 @@
+//! # everest-models — simulated deep-model oracles and baseline scorers
+//!
+//! Everest treats an accurate-but-slow deep model as a ground-truth
+//! **oracle** (§2: "a video relation that is materialized by an accurate
+//! deep CNN such as YOLOv3 is regarded as the ground-truth"). This crate is
+//! the model zoo of the reproduction:
+//!
+//! * [`oracle`] — the [`oracle::Oracle`] trait (exact batch scoring + a
+//!   simulated per-frame GPU cost) with instrumentation;
+//! * [`detector`] — ground-truth object detections (boxes + classes) read
+//!   back from the synthetic videos, standing in for YOLOv3 output;
+//! * [`tracker`] — the IoU-based object tracker that assigns stable
+//!   `objectID`s across frames (§2's tracker reference \[67\]);
+//! * [`relation`] — the video relation of Table 2 (`ts, class, polygon,
+//!   objectID, features`) and its materialisation;
+//! * [`counting`] — the default object-counting UDF of Figure 3;
+//! * [`depth`] — the depth-estimator oracle behind the tailgating UDF
+//!   (Figure 9);
+//! * [`classic`] — HOG and TinyYOLOv3 stand-ins: cheap scorers whose noise
+//!   and cost constants are calibrated to their roles in Figure 4 (fast
+//!   and/or classic, but far too inaccurate to rank frames).
+//!
+//! Cost constants are simulated seconds per frame; every reported speedup
+//! is a ratio of simulated times, so only the *relative* magnitudes matter.
+
+pub mod classic;
+pub mod counting;
+pub mod depth;
+pub mod detector;
+pub mod oracle;
+pub mod relation;
+pub mod sentiment;
+pub mod tracker;
+
+pub use classic::{CheapScorer, HogScorer, TinyYoloScorer};
+pub use counting::{counting_oracle, coverage_oracle};
+pub use depth::depth_oracle;
+pub use detector::{Detection, Detector, GroundTruthDetector};
+pub use oracle::{ExactScoreOracle, InstrumentedOracle, Oracle};
+pub use relation::{VideoRelation, VideoRelationRow};
+pub use tracker::IouTracker;

@@ -1,0 +1,241 @@
+//! IoU-based object tracking: assigning stable `objectID`s across frames.
+//!
+//! §2 of the paper: "To recognize identical objects across frames so that
+//! they share the same objectID, an object tracker is invoked, which takes
+//! as input two polygons from two consecutive frames and returns the same
+//! objectID if the two polygons represent the same object." This module is
+//! that tracker: greedy best-IoU matching between consecutive frames with a
+//! configurable match threshold and a miss tolerance (tracks survive a few
+//! dropped frames before being retired).
+
+use crate::detector::Detection;
+use everest_video::frame::BBox;
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrackerConfig {
+    /// Minimum IoU between consecutive boxes to continue a track.
+    pub iou_threshold: f32,
+    /// Number of consecutive missed frames before a track is retired.
+    pub max_misses: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig { iou_threshold: 0.25, max_misses: 3 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Track {
+    id: u64,
+    last_bbox: BBox,
+    misses: usize,
+}
+
+/// A streaming IoU tracker. Feed frames in order with
+/// [`IouTracker::update`]; each call returns the track id assigned to every
+/// detection of that frame.
+#[derive(Debug, Clone)]
+pub struct IouTracker {
+    cfg: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+}
+
+impl IouTracker {
+    pub fn new(cfg: TrackerConfig) -> Self {
+        IouTracker { cfg, tracks: Vec::new(), next_id: 0 }
+    }
+
+    /// Number of track ids ever created.
+    pub fn tracks_created(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Currently live tracks.
+    pub fn live_tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Processes the detections of the next frame, returning one track id
+    /// per detection (same order as the input).
+    pub fn update(&mut self, detections: &[Detection]) -> Vec<u64> {
+        // Build all candidate (track, detection, iou) pairs above threshold.
+        let mut pairs: Vec<(usize, usize, f32)> = Vec::new();
+        for (ti, track) in self.tracks.iter().enumerate() {
+            for (di, det) in detections.iter().enumerate() {
+                let iou = track.last_bbox.iou(&det.bbox);
+                if iou >= self.cfg.iou_threshold {
+                    pairs.push((ti, di, iou));
+                }
+            }
+        }
+        // Greedy matching by descending IoU.
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut track_matched = vec![false; self.tracks.len()];
+        let mut det_assignment: Vec<Option<usize>> = vec![None; detections.len()];
+        for (ti, di, _) in pairs {
+            if !track_matched[ti] && det_assignment[di].is_none() {
+                track_matched[ti] = true;
+                det_assignment[di] = Some(ti);
+            }
+        }
+
+        // Update matched tracks, create new ones for unmatched detections.
+        let mut ids = Vec::with_capacity(detections.len());
+        let mut new_tracks: Vec<Track> = Vec::new();
+        for (di, det) in detections.iter().enumerate() {
+            match det_assignment[di] {
+                Some(ti) => {
+                    self.tracks[ti].last_bbox = det.bbox;
+                    self.tracks[ti].misses = 0;
+                    ids.push(self.tracks[ti].id);
+                }
+                None => {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    new_tracks.push(Track { id, last_bbox: det.bbox, misses: 0 });
+                    ids.push(id);
+                }
+            }
+        }
+
+        // Age out unmatched tracks.
+        let max_misses = self.cfg.max_misses;
+        let mut keep = Vec::with_capacity(self.tracks.len() + new_tracks.len());
+        for (ti, mut track) in std::mem::take(&mut self.tracks).into_iter().enumerate() {
+            if track_matched[ti] {
+                keep.push(track);
+            } else {
+                track.misses += 1;
+                if track.misses <= max_misses {
+                    keep.push(track);
+                }
+            }
+        }
+        keep.extend(new_tracks);
+        self.tracks = keep;
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use everest_video::scene::ObjectClass;
+
+    fn det(x: f32, y: f32) -> Detection {
+        Detection { bbox: BBox::new(x, y, 10.0, 10.0), class: ObjectClass::Car }
+    }
+
+    #[test]
+    fn single_object_keeps_its_id() {
+        let mut tr = IouTracker::new(TrackerConfig::default());
+        let mut last_id = None;
+        for step in 0..20 {
+            let ids = tr.update(&[det(step as f32 * 1.5, 0.0)]); // moves slowly
+            assert_eq!(ids.len(), 1);
+            if let Some(prev) = last_id {
+                assert_eq!(ids[0], prev, "id changed at step {step}");
+            }
+            last_id = Some(ids[0]);
+        }
+        assert_eq!(tr.tracks_created(), 1);
+    }
+
+    #[test]
+    fn disjoint_objects_get_distinct_ids() {
+        let mut tr = IouTracker::new(TrackerConfig::default());
+        let ids = tr.update(&[det(0.0, 0.0), det(100.0, 100.0)]);
+        assert_ne!(ids[0], ids[1]);
+        let ids2 = tr.update(&[det(1.0, 0.0), det(101.0, 100.0)]);
+        assert_eq!(ids, ids2);
+    }
+
+    #[test]
+    fn fast_jump_breaks_the_track() {
+        let mut tr = IouTracker::new(TrackerConfig::default());
+        let a = tr.update(&[det(0.0, 0.0)]);
+        let b = tr.update(&[det(500.0, 500.0)]); // no overlap at all
+        assert_ne!(a[0], b[0]);
+        assert_eq!(tr.tracks_created(), 2);
+    }
+
+    #[test]
+    fn track_survives_short_occlusion() {
+        let mut tr = IouTracker::new(TrackerConfig { iou_threshold: 0.2, max_misses: 3 });
+        let a = tr.update(&[det(0.0, 0.0)]);
+        let _ = tr.update(&[]); // occluded for 2 frames
+        let _ = tr.update(&[]);
+        let b = tr.update(&[det(2.0, 0.0)]);
+        assert_eq!(a[0], b[0], "track should survive {} misses", 2);
+    }
+
+    #[test]
+    fn track_retires_after_max_misses() {
+        let mut tr = IouTracker::new(TrackerConfig { iou_threshold: 0.2, max_misses: 1 });
+        let a = tr.update(&[det(0.0, 0.0)]);
+        let _ = tr.update(&[]);
+        let _ = tr.update(&[]); // second miss retires it
+        let b = tr.update(&[det(0.0, 0.0)]);
+        assert_ne!(a[0], b[0]);
+        assert_eq!(tr.live_tracks(), 1);
+    }
+
+    #[test]
+    fn greedy_matching_prefers_higher_iou() {
+        let mut tr = IouTracker::new(TrackerConfig { iou_threshold: 0.05, max_misses: 0 });
+        // two tracks side by side
+        let first = tr.update(&[det(0.0, 0.0), det(8.0, 0.0)]);
+        // detections shifted right: each should match the nearer predecessor
+        let second = tr.update(&[det(1.0, 0.0), det(9.0, 0.0)]);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn crossing_ground_truth_tracks_on_synthetic_video() {
+        use crate::detector::{Detector, GroundTruthDetector};
+        use everest_video::arrival::{ArrivalConfig, Timeline};
+        use everest_video::scene::{SceneConfig, SyntheticVideo};
+
+        // Use a sparse scene so tracking is unambiguous.
+        let tl = Timeline::generate(
+            &ArrivalConfig {
+                n_frames: 400,
+                base_intensity: 1.0,
+                mean_lifetime: 120.0,
+                burst_rate_per_10k: 0.0,
+                ..ArrivalConfig::default()
+            },
+            11,
+        );
+        let video = SyntheticVideo::new(
+            SceneConfig { width: 64, height: 64, ..SceneConfig::default() },
+            tl,
+            11,
+            30.0,
+        );
+        let detector = GroundTruthDetector::new(video);
+        let mut tracker = IouTracker::new(TrackerConfig::default());
+        // For every frame, remember (gt id → track id); a ground-truth object
+        // should map to few distinct track ids (ideally 1).
+        let mut mapping: std::collections::HashMap<u64, std::collections::HashSet<u64>> =
+            std::collections::HashMap::new();
+        for t in 0..detector.num_frames() {
+            let gt = detector.video().objects_at(t);
+            let dets: Vec<Detection> =
+                gt.iter().map(|o| Detection { bbox: o.bbox, class: o.class }).collect();
+            let ids = tracker.update(&dets);
+            for (o, &tid) in gt.iter().zip(ids.iter()) {
+                mapping.entry(o.id).or_default().insert(tid);
+            }
+        }
+        let fragmented = mapping.values().filter(|s| s.len() > 2).count();
+        assert!(
+            fragmented * 5 <= mapping.len().max(1),
+            "too many fragmented tracks: {fragmented}/{}",
+            mapping.len()
+        );
+    }
+}

@@ -1,0 +1,511 @@
+//! Neural-network layers with hand-derived backward passes.
+//!
+//! Everything operates on single samples (`&[f32]` buffers in
+//! channel-major layout); data parallelism across a mini-batch happens one
+//! level up in [`crate::train`]. Shapes are fixed at construction and
+//! asserted at the boundaries, so indexing inside the hot loops is safe by
+//! construction.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use rand::{Rng, SeedableRng};
+
+/// A learnable parameter tensor with its gradient accumulator.
+///
+/// Serialization persists only the weights; the gradient accumulator is
+/// rebuilt (zeroed, correctly sized) on deserialize via the `From`
+/// conversions below.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "Vec<f32>", into = "Vec<f32>")]
+pub struct Param {
+    pub w: Vec<f32>,
+    pub g: Vec<f32>,
+}
+
+impl From<Vec<f32>> for Param {
+    fn from(w: Vec<f32>) -> Self {
+        Param::new(w)
+    }
+}
+
+impl From<Param> for Vec<f32> {
+    fn from(p: Param) -> Self {
+        p.w
+    }
+}
+
+impl Param {
+    fn new(w: Vec<f32>) -> Self {
+        let g = vec![0.0; w.len()];
+        Param { w, g }
+    }
+
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.g.iter_mut().for_each(|g| *g = 0.0);
+    }
+}
+
+/// He-normal initialisation (good default before ReLU).
+fn he_init(rng: &mut StdRng, n: usize, fan_in: usize) -> Vec<f32> {
+    let std = (2.0 / fan_in as f32).sqrt();
+    (0..n).map(|_| gaussian32(rng) * std).collect()
+}
+
+fn gaussian32(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+/// 3×3 convolution, stride 1, zero padding 1 (spatial dims preserved).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv3x3 {
+    pub in_ch: usize,
+    pub out_ch: usize,
+    pub h: usize,
+    pub w: usize,
+    pub weight: Param, // [out][in][3][3]
+    pub bias: Param,   // [out]
+    #[serde(skip)]
+    cached_input: Vec<f32>,
+}
+
+impl Conv3x3 {
+    pub fn new(in_ch: usize, out_ch: usize, h: usize, w: usize, rng: &mut StdRng) -> Self {
+        let fan_in = in_ch * 9;
+        Conv3x3 {
+            in_ch,
+            out_ch,
+            h,
+            w,
+            weight: Param::new(he_init(rng, out_ch * in_ch * 9, fan_in)),
+            bias: Param::new(vec![0.0; out_ch]),
+            cached_input: Vec::new(),
+        }
+    }
+
+    pub fn input_len(&self) -> usize {
+        self.in_ch * self.h * self.w
+    }
+
+    pub fn output_len(&self) -> usize {
+        self.out_ch * self.h * self.w
+    }
+
+    pub fn forward(&mut self, input: &[f32], train: bool) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len(), "conv input size mismatch");
+        if train {
+            self.cached_input = input.to_vec();
+        }
+        let (h, w) = (self.h, self.w);
+        let mut out = vec![0.0f32; self.output_len()];
+        for o in 0..self.out_ch {
+            let b = self.bias.w[o];
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = b;
+                    for i in 0..self.in_ch {
+                        let wbase = ((o * self.in_ch + i) * 3) * 3;
+                        let ibase = i * h * w;
+                        for ky in 0..3usize {
+                            let iy = y as isize + ky as isize - 1;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let row = ibase + iy as usize * w;
+                            for kx in 0..3usize {
+                                let ix = x as isize + kx as isize - 1;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input[row + ix as usize]
+                                    * self.weight.w[wbase + ky * 3 + kx];
+                            }
+                        }
+                    }
+                    out[(o * h + y) * w + x] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Accumulates weight/bias gradients and returns the input gradient.
+    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.output_len(), "conv grad size mismatch");
+        assert!(!self.cached_input.is_empty(), "backward before forward(train=true)");
+        let (h, w) = (self.h, self.w);
+        let input = &self.cached_input;
+        let mut grad_in = vec![0.0f32; self.input_len()];
+        for o in 0..self.out_ch {
+            let obase = o * h * w;
+            for y in 0..h {
+                for x in 0..w {
+                    let go = grad_out[obase + y * w + x];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    self.bias.g[o] += go;
+                    for i in 0..self.in_ch {
+                        let wbase = ((o * self.in_ch + i) * 3) * 3;
+                        let ibase = i * h * w;
+                        for ky in 0..3usize {
+                            let iy = y as isize + ky as isize - 1;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let row = ibase + iy as usize * w;
+                            for kx in 0..3usize {
+                                let ix = x as isize + kx as isize - 1;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let widx = wbase + ky * 3 + kx;
+                                self.weight.g[widx] += go * input[row + ix as usize];
+                                grad_in[row + ix as usize] += go * self.weight.w[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// 2×2 max-pooling with stride 2. Requires even spatial dimensions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool2x2 {
+    pub ch: usize,
+    pub h: usize,
+    pub w: usize,
+    #[serde(skip)]
+    argmax: Vec<u32>,
+}
+
+impl MaxPool2x2 {
+    pub fn new(ch: usize, h: usize, w: usize) -> Self {
+        assert!(h % 2 == 0 && w % 2 == 0, "pooling needs even dims, got {h}×{w}");
+        MaxPool2x2 { ch, h, w, argmax: Vec::new() }
+    }
+
+    pub fn input_len(&self) -> usize {
+        self.ch * self.h * self.w
+    }
+
+    pub fn output_len(&self) -> usize {
+        self.ch * (self.h / 2) * (self.w / 2)
+    }
+
+    pub fn forward(&mut self, input: &[f32], train: bool) -> Vec<f32> {
+        assert_eq!(input.len(), self.input_len());
+        let (h, w) = (self.h, self.w);
+        let (oh, ow) = (h / 2, w / 2);
+        let mut out = vec![0.0f32; self.output_len()];
+        let mut argmax = if train { vec![0u32; self.output_len()] } else { Vec::new() };
+        for c in 0..self.ch {
+            let ibase = c * h * w;
+            let obase = c * oh * ow;
+            for y in 0..oh {
+                for x in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = ibase + (2 * y + dy) * w + (2 * x + dx);
+                            if input[idx] > best {
+                                best = input[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[obase + y * ow + x] = best;
+                    if train {
+                        argmax[obase + y * ow + x] = best_idx as u32;
+                    }
+                }
+            }
+        }
+        if train {
+            self.argmax = argmax;
+        }
+        out
+    }
+
+    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.output_len());
+        assert!(!self.argmax.is_empty(), "backward before forward(train=true)");
+        let mut grad_in = vec![0.0f32; self.input_len()];
+        for (i, &go) in grad_out.iter().enumerate() {
+            grad_in[self.argmax[i] as usize] += go;
+        }
+        grad_in
+    }
+}
+
+/// Elementwise ReLU.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    pub fn new() -> Self {
+        Relu { mask: Vec::new() }
+    }
+
+    pub fn forward(&mut self, input: &[f32], train: bool) -> Vec<f32> {
+        if train {
+            self.mask = input.iter().map(|&x| x > 0.0).collect();
+        }
+        input.iter().map(|&x| x.max(0.0)).collect()
+    }
+
+    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.mask.len(), "relu backward before forward");
+        grad_out
+            .iter()
+            .zip(self.mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect()
+    }
+}
+
+/// Fully-connected layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    pub in_dim: usize,
+    pub out_dim: usize,
+    pub weight: Param, // [out][in]
+    pub bias: Param,   // [out]
+    #[serde(skip)]
+    cached_input: Vec<f32>,
+}
+
+impl Dense {
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Dense {
+            in_dim,
+            out_dim,
+            weight: Param::new(he_init(rng, out_dim * in_dim, in_dim)),
+            bias: Param::new(vec![0.0; out_dim]),
+            cached_input: Vec::new(),
+        }
+    }
+
+    pub fn forward(&mut self, input: &[f32], train: bool) -> Vec<f32> {
+        assert_eq!(input.len(), self.in_dim, "dense input size mismatch");
+        if train {
+            self.cached_input = input.to_vec();
+        }
+        let mut out = self.bias.w.clone();
+        for o in 0..self.out_dim {
+            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = 0.0f32;
+            for (wi, xi) in row.iter().zip(input.iter()) {
+                acc += wi * xi;
+            }
+            out[o] += acc;
+        }
+        out
+    }
+
+    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(grad_out.len(), self.out_dim);
+        assert!(!self.cached_input.is_empty(), "backward before forward(train=true)");
+        let input = &self.cached_input;
+        let mut grad_in = vec![0.0f32; self.in_dim];
+        for o in 0..self.out_dim {
+            let go = grad_out[o];
+            self.bias.g[o] += go;
+            let row_w = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let row_g = &mut self.weight.g[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                row_g[i] += go * input[i];
+                grad_in[i] += go * row_w[i];
+            }
+        }
+        grad_in
+    }
+}
+
+/// Creates a deterministic RNG for layer initialisation.
+pub fn init_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel() {
+        let mut rng = init_rng(1);
+        let mut conv = Conv3x3::new(1, 1, 4, 4, &mut rng);
+        // set kernel to identity (center tap 1), bias 0
+        conv.weight.w.iter_mut().for_each(|w| *w = 0.0);
+        conv.weight.w[4] = 1.0; // center of the 3×3
+        conv.bias.w[0] = 0.0;
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let out = conv.forward(&input, false);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_bias_applied() {
+        let mut rng = init_rng(1);
+        let mut conv = Conv3x3::new(1, 2, 2, 2, &mut rng);
+        conv.weight.w.iter_mut().for_each(|w| *w = 0.0);
+        conv.bias.w = vec![0.5, -0.5];
+        let out = conv.forward(&[0.0; 4], false);
+        assert_eq!(&out[0..4], &[0.5; 4]);
+        assert_eq!(&out[4..8], &[-0.5; 4]);
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut rng = init_rng(7);
+        let mut conv = Conv3x3::new(2, 3, 4, 4, &mut rng);
+        let input: Vec<f32> = (0..conv.input_len()).map(|i| (i as f32 * 0.37).sin()).collect();
+        let out = conv.forward(&input, true);
+        // L = Σ out², dL/dout = 2·out
+        let grad_out: Vec<f32> = out.iter().map(|&o| 2.0 * o).collect();
+        let grad_in = conv.backward(&grad_out);
+
+        let loss = |c: &mut Conv3x3, x: &[f32]| -> f32 {
+            c.forward(x, false).iter().map(|o| o * o).sum()
+        };
+        let eps = 1e-2f32;
+        let mut x = input.clone();
+        for i in [0usize, 5, 11, 17, 23, 31] {
+            let orig = x[i];
+            x[i] = orig + eps;
+            let lp = loss(&mut conv, &x);
+            x[i] = orig - eps;
+            let lm = loss(&mut conv, &x);
+            x[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 0.05 * (1.0 + numeric.abs()),
+                "input grad mismatch at {i}: numeric {numeric} vs analytic {}",
+                grad_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_weight_gradient_check() {
+        let mut rng = init_rng(9);
+        let mut conv = Conv3x3::new(1, 1, 4, 4, &mut rng);
+        let input: Vec<f32> = (0..16).map(|i| (i as f32 * 0.21).cos()).collect();
+        let out = conv.forward(&input, true);
+        let grad_out: Vec<f32> = out.iter().map(|&o| 2.0 * o).collect();
+        conv.weight.zero_grad();
+        conv.bias.zero_grad();
+        let _ = conv.backward(&grad_out);
+        let analytic = conv.weight.g.clone();
+
+        let eps = 1e-2f32;
+        for wi in 0..9 {
+            let orig = conv.weight.w[wi];
+            conv.weight.w[wi] = orig + eps;
+            let lp: f32 = conv.forward(&input, false).iter().map(|o| o * o).sum();
+            conv.weight.w[wi] = orig - eps;
+            let lm: f32 = conv.forward(&input, false).iter().map(|o| o * o).sum();
+            conv.weight.w[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[wi]).abs() < 0.05 * (1.0 + numeric.abs()),
+                "weight grad mismatch at {wi}: {numeric} vs {}",
+                analytic[wi]
+            );
+        }
+    }
+
+    #[test]
+    fn pool_selects_max_and_routes_grad() {
+        let mut pool = MaxPool2x2::new(1, 4, 4);
+        #[rustfmt::skip]
+        let input = vec![
+            1.0, 2.0,   0.0, 0.0,
+            3.0, 4.0,   0.0, 5.0,
+            0.0, 0.0,   9.0, 8.0,
+            0.0, 0.0,   7.0, 6.0,
+        ];
+        let out = pool.forward(&input, true);
+        assert_eq!(out, vec![4.0, 5.0, 0.0, 9.0]);
+        let grad_in = pool.backward(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(grad_in[5], 1.0); // position of 4.0
+        assert_eq!(grad_in[7], 1.0); // position of 5.0
+        assert_eq!(grad_in[10], 1.0); // position of 9.0
+        assert_eq!(grad_in.iter().sum::<f32>(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even dims")]
+    fn pool_rejects_odd_dims() {
+        let _ = MaxPool2x2::new(1, 3, 4);
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::new();
+        let out = relu.forward(&[-1.0, 0.0, 2.0], true);
+        assert_eq!(out, vec![0.0, 0.0, 2.0]);
+        let grad = relu.backward(&[5.0, 5.0, 5.0]);
+        assert_eq!(grad, vec![0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn dense_forward_matches_matrix_multiply() {
+        let mut rng = init_rng(2);
+        let mut d = Dense::new(3, 2, &mut rng);
+        d.weight.w = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        d.bias.w = vec![0.1, -0.1];
+        let out = d.forward(&[1.0, 0.0, -1.0], false);
+        assert!((out[0] - (1.0 - 3.0 + 0.1)).abs() < 1e-6);
+        assert!((out[1] - (4.0 - 6.0 - 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_gradient_check() {
+        let mut rng = init_rng(3);
+        let mut d = Dense::new(5, 4, &mut rng);
+        let input: Vec<f32> = (0..5).map(|i| i as f32 * 0.3 - 0.6).collect();
+        let out = d.forward(&input, true);
+        let grad_out: Vec<f32> = out.iter().map(|&o| 2.0 * o).collect();
+        let grad_in = d.backward(&grad_out);
+        let eps = 1e-3f32;
+        let mut x = input.clone();
+        for i in 0..5 {
+            let orig = x[i];
+            x[i] = orig + eps;
+            let lp: f32 = d.forward(&x, false).iter().map(|o| o * o).sum();
+            x[i] = orig - eps;
+            let lm: f32 = d.forward(&x, false).iter().map(|o| o * o).sum();
+            x[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in[i]).abs() < 0.02 * (1.0 + numeric.abs()),
+                "dense grad mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn he_init_scale_is_reasonable() {
+        let mut rng = init_rng(4);
+        let w = he_init(&mut rng, 10_000, 100);
+        let var: f32 = w.iter().map(|x| x * x).sum::<f32>() / w.len() as f32;
+        assert!((var - 0.02).abs() < 0.005, "He variance {var} should be ≈ 2/100");
+    }
+}

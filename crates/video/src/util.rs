@@ -1,0 +1,61 @@
+//! Small deterministic-randomness helpers shared by the synthetic substrates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 finalizer — cheap, high-quality mixing of `(seed, index)` pairs
+/// so every frame gets an independent, reproducible RNG stream.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A reproducible per-frame RNG derived from a video seed and frame index.
+pub fn frame_rng(seed: u64, frame_idx: usize) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(frame_idx as u64)))
+}
+
+/// Standard normal sample via Box–Muller (rand 0.8 without `rand_distr`
+/// has no Gaussian sampler).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // consecutive inputs should differ in many bits
+        let d = (splitmix64(100) ^ splitmix64(101)).count_ones();
+        assert!(d > 10, "poor mixing: only {d} differing bits");
+    }
+
+    #[test]
+    fn frame_rng_streams_are_independent() {
+        let a: u64 = frame_rng(5, 0).gen();
+        let b: u64 = frame_rng(5, 1).gen();
+        let a2: u64 = frame_rng(5, 0).gen();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "gaussian mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "gaussian var {var}");
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end integration: the full Everest pipeline (difference detector →
+//! CMDN → uncertain relation → oracle-in-the-loop cleaning) against the
+//! baselines, on a small synthetic traffic video.
+
+use everest::core::baselines::{cheap_scan, cmdn_only, scan_and_test};
+use everest::core::cleaner::CleanerConfig;
+use everest::core::metrics::{evaluate_topk, GroundTruth};
+use everest::core::phase1::Phase1Config;
+use everest::core::pipeline::Everest;
+use everest::core::sim::component;
+use everest::models::{counting_oracle, HogScorer, InstrumentedOracle};
+use everest::nn::train::TrainConfig;
+use everest::nn::HyperGrid;
+use everest::video::arrival::{ArrivalConfig, Timeline};
+use everest::video::scene::{SceneConfig, SyntheticVideo};
+
+fn setup(n_frames: usize, seed: u64) -> (SyntheticVideo, InstrumentedOracle<everest::models::ExactScoreOracle>) {
+    let tl = Timeline::generate(
+        &ArrivalConfig {
+            n_frames,
+            base_intensity: 3.5,
+            diurnal_amplitude: 0.7,
+            burst_rate_per_10k: 8.0,
+            burst_boost: 3.0,
+            ..ArrivalConfig::default()
+        },
+        seed,
+    );
+    let v = SyntheticVideo::new(SceneConfig::default(), tl, seed, 30.0);
+    let o = InstrumentedOracle::new(counting_oracle(&v));
+    (v, o)
+}
+
+fn phase1_cfg() -> Phase1Config {
+    Phase1Config {
+        sample_frac: 0.15,
+        sample_cap: 450,
+        sample_min: 200,
+        grid: HyperGrid::single(5, 24),
+        train: TrainConfig { epochs: 25, batch_size: 32, ..TrainConfig::default() },
+        conv_channels: vec![8, 16, 32],
+        threads: 4,
+        ..Phase1Config::default()
+    }
+}
+
+#[test]
+fn everest_beats_scan_and_test_with_high_precision() {
+    let (video, oracle) = setup(3_000, 11);
+    let prepared = Everest::prepare(&video, &oracle, &phase1_cfg());
+    let report = prepared.query_topk(&oracle, 10, 0.9, &CleanerConfig::default());
+
+    assert!(report.converged);
+    assert!(report.confidence >= 0.9);
+
+    // Quality versus exact ground truth over the whole video.
+    let truth = GroundTruth::new(oracle.inner().all_scores().to_vec());
+    let quality = evaluate_topk(&truth, &report.frames(), 10);
+    // The guarantee is exact w.r.t. the proxy's distributions; empirical
+    // precision tracks it as closely as CMDN calibration allows. At this
+    // scale the CMDN sees only ~450 labelled frames (the paper: 30 000), so
+    // the bound here is looser; full-scale precision is measured by the
+    // Figure 4 experiment binary.
+    assert!(quality.precision >= 0.6, "precision {}", quality.precision);
+    assert!(quality.score_error <= 2.0, "score error {}", quality.score_error);
+
+    // Simulated speedup over the naive baseline.
+    let scan = scan_and_test(oracle.inner(), 10);
+    let speedup = scan.sim_seconds / report.sim_seconds();
+    assert!(speedup > 2.0, "expected a clear speedup, got {speedup:.2}×");
+
+    // The oracle was invoked on a small fraction of frames only.
+    let frac = oracle.frames_scored() as f64 / video_frames(&video) as f64;
+    assert!(frac < 0.3, "oracle touched {frac:.2} of the video");
+}
+
+#[test]
+fn latency_breakdown_shape_matches_table8() {
+    let (video, oracle) = setup(3_000, 13);
+    let prepared = Everest::prepare(&video, &oracle, &phase1_cfg());
+    let report = prepared.query_topk(&oracle, 10, 0.9, &CleanerConfig::default());
+
+    let clock = &report.clock;
+    // Phase 1 dominates (Table 8: ≥ 80%); our scaled ratio is looser but
+    // Phase 1 must still be the bulk of the cost.
+    let phase1 = clock.component(component::LABEL)
+        + clock.component(component::TRAIN)
+        + clock.component(component::POPULATE);
+    assert!(
+        phase1 / clock.total() > 0.5,
+        "phase 1 should dominate: {:.2}",
+        phase1 / clock.total()
+    );
+    // Select-candidate's algorithmic overhead is negligible (paper: ≤ 0.41%).
+    assert!(
+        clock.fraction(component::SELECT) < 0.05,
+        "select-candidate overhead {:.4}",
+        clock.fraction(component::SELECT)
+    );
+    // Confirmations happen but stay small.
+    assert!(clock.component(component::CONFIRM) > 0.0);
+}
+
+#[test]
+fn everest_beats_baselines_on_quality() {
+    let (video, oracle) = setup(2_500, 17);
+    let truth = GroundTruth::new(oracle.inner().all_scores().to_vec());
+    let k = 15;
+
+    let prepared = Everest::prepare(&video, &oracle, &phase1_cfg());
+    let everest = prepared.query_topk(&oracle, k, 0.9, &CleanerConfig::default());
+    let q_everest = evaluate_topk(&truth, &everest.frames(), k);
+
+    let hog = cheap_scan(&HogScorer::new(oracle.inner().clone(), 3), k);
+    let q_hog = evaluate_topk(&truth, &hog.topk, k);
+
+    let cmdn = cmdn_only(&prepared, k);
+    let q_cmdn = evaluate_topk(&truth, &cmdn.topk, k);
+
+    assert!(
+        q_everest.precision > q_hog.precision,
+        "everest {} vs hog {}",
+        q_everest.precision,
+        q_hog.precision
+    );
+    // At this toy scale tie groups are wide, so CMDN-only can score well
+    // under tie-aware precision; Everest must never be worse (the full-scale
+    // separation is exercised by the Figure 4 experiment binary).
+    assert!(
+        q_everest.precision >= q_cmdn.precision,
+        "everest {} vs cmdn-only {}",
+        q_everest.precision,
+        q_cmdn.precision
+    );
+    assert!(q_everest.score_error <= q_hog.score_error);
+}
+
+#[test]
+fn smaller_k_converges_faster() {
+    // §4.2.1: smaller K ⇒ higher threshold score ⇒ earlier stop.
+    let (video, oracle) = setup(2_500, 19);
+    let prepared = Everest::prepare(&video, &oracle, &phase1_cfg());
+    let small = prepared.query_topk(&oracle, 3, 0.9, &CleanerConfig::default());
+    let large = prepared.query_topk(&oracle, 40, 0.9, &CleanerConfig::default());
+    assert!(
+        small.cleaned <= large.cleaned,
+        "K=3 cleaned {} > K=40 cleaned {}",
+        small.cleaned,
+        large.cleaned
+    );
+}
+
+fn video_frames(v: &SyntheticVideo) -> usize {
+    use everest::video::VideoStore;
+    v.num_frames()
+}

@@ -1,0 +1,140 @@
+//! Property tests for the alternative uncertain Top-K semantics (§2) —
+//! cross-checking the fast expected-ranks computation against world
+//! enumeration and the structural relationships between the semantics.
+
+use everest::core::dist::DiscreteDist;
+use everest::core::semantics::{
+    expected_rank_topk, expected_ranks, probabilistic_threshold_topk,
+    pws_expected_ranks, topk_membership, u_kranks, u_topk,
+};
+use everest::core::xtuple::UncertainRelation;
+use proptest::prelude::*;
+
+const MAX_B: usize = 3;
+
+fn arb_dist() -> impl Strategy<Value = DiscreteDist> {
+    proptest::collection::vec(0.0f64..1.0, MAX_B + 1).prop_filter_map(
+        "positive mass",
+        |masses| {
+            if masses.iter().sum::<f64>() > 1e-9 {
+                Some(DiscreteDist::from_masses(&masses))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+fn arb_relation() -> impl Strategy<Value = UncertainRelation> {
+    (
+        proptest::collection::vec(arb_dist(), 1..5),
+        proptest::collection::vec(0u32..=MAX_B as u32, 0..3),
+    )
+        .prop_map(|(dists, certains)| {
+            let mut rel = UncertainRelation::new(1.0, MAX_B);
+            for d in dists {
+                rel.push_uncertain(d);
+            }
+            for b in certains {
+                rel.push_certain(b);
+            }
+            rel
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The O(n·m) expected-ranks computation equals brute-force world
+    /// enumeration (linearity of expectation, verified empirically).
+    #[test]
+    fn expected_ranks_equal_world_enumeration(rel in arb_relation()) {
+        let fast = expected_ranks(&rel);
+        let brute = pws_expected_ranks(&rel);
+        for (f, (a, b)) in fast.iter().zip(&brute).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "item {f}: {a} vs {b}");
+        }
+    }
+
+    /// Σ_f E[rank(f)] = C(n,2): every unordered pair contributes exactly 1
+    /// in every world under the midpoint tie convention.
+    #[test]
+    fn expected_ranks_sum_to_pair_count(rel in arb_relation()) {
+        let n = rel.len() as f64;
+        let total: f64 = expected_ranks(&rel).iter().sum();
+        prop_assert!((total - n * (n - 1.0) / 2.0).abs() < 1e-9, "Σ = {total}, n = {n}");
+    }
+
+    /// Expected ranks live in [0, n−1].
+    #[test]
+    fn expected_ranks_are_bounded(rel in arb_relation()) {
+        let n = rel.len() as f64;
+        for (f, r) in expected_ranks(&rel).iter().enumerate() {
+            prop_assert!((-1e-12..=n - 1.0 + 1e-12).contains(r), "item {f}: rank {r}");
+        }
+    }
+
+    /// Top-K membership probabilities always sum to exactly K.
+    #[test]
+    fn membership_sums_to_k(rel in arb_relation(), k_seed in 0usize..100) {
+        let k = 1 + k_seed % rel.len();
+        let member = topk_membership(&rel, k);
+        let total: f64 = member.iter().sum();
+        prop_assert!((total - k as f64).abs() < 1e-9, "Σ = {total}, K = {k}");
+        for (f, p) in member.iter().enumerate() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(p), "item {f}: {p}");
+        }
+    }
+
+    /// U-TopK's winner probability can never exceed the largest membership
+    /// probability of its members, and PT-k at threshold 0 returns every
+    /// item.
+    #[test]
+    fn semantics_relationships(rel in arb_relation(), k_seed in 0usize..100) {
+        let k = 1 + k_seed % rel.len();
+        let (set, p) = u_topk(&rel, k);
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(p > 0.0 && p <= 1.0 + 1e-12);
+        let member = topk_membership(&rel, k);
+        for &f in &set {
+            prop_assert!(
+                member[f] >= p - 1e-9,
+                "member {f}: Pr(f ∈ TopK) = {} < Pr(set) = {p}", member[f]
+            );
+        }
+        let everyone = probabilistic_threshold_topk(&rel, k, 0.0);
+        prop_assert_eq!(everyone.len(), rel.len());
+    }
+
+    /// U-KRanks winners have positive probability, and rank-1's winner
+    /// probability is consistent with membership.
+    #[test]
+    fn u_kranks_consistency(rel in arb_relation(), k_seed in 0usize..100) {
+        let k = 1 + k_seed % rel.len();
+        let ranks = u_kranks(&rel, k);
+        prop_assert_eq!(ranks.len(), k);
+        let member = topk_membership(&rel, k);
+        for (i, &(f, p)) in ranks.iter().enumerate() {
+            prop_assert!(p > 0.0 && p <= 1.0 + 1e-12, "rank {i}: {p}");
+            prop_assert!(
+                member[f] >= p - 1e-9,
+                "rank {i} winner {f}: membership {} < rank prob {p}", member[f]
+            );
+        }
+    }
+
+    /// `expected_rank_topk` returns K items in non-decreasing rank order,
+    /// and its first pick minimises the expected rank globally.
+    #[test]
+    fn expected_rank_topk_is_sorted_and_optimal(rel in arb_relation()) {
+        let k = rel.len().min(3);
+        let top = expected_rank_topk(&rel, k);
+        prop_assert_eq!(top.len(), k);
+        for pair in top.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1 + 1e-12);
+        }
+        let all = expected_ranks(&rel);
+        let best = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!((top[0].1 - best).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests for the probabilistic skyline operator (§5 future work):
+//! the factorized confidence must agree exactly with possible-world
+//! enumeration, and domination probabilities must behave like
+//! probabilities.
+
+use everest::core::dist::DiscreteDist;
+use everest::core::skyline::{
+    dominates, prob_dominated, pws_skyline_probability, skyline_of, skyline_state,
+    VectorRelation,
+};
+use proptest::prelude::*;
+
+const MAX_B: usize = 3;
+
+fn arb_dist() -> impl Strategy<Value = DiscreteDist> {
+    proptest::collection::vec(0.0f64..1.0, MAX_B + 1).prop_filter_map(
+        "positive mass",
+        |masses| {
+            if masses.iter().sum::<f64>() > 1e-9 {
+                Some(DiscreteDist::from_masses(&masses))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+/// A small mixed 2-D relation (uncertain + certain items).
+fn arb_relation() -> impl Strategy<Value = VectorRelation> {
+    (
+        proptest::collection::vec((arb_dist(), arb_dist()), 1..4),
+        proptest::collection::vec((0u32..=MAX_B as u32, 0u32..=MAX_B as u32), 1..4),
+    )
+        .prop_map(|(uncertain, certain)| {
+            let mut rel = VectorRelation::new(vec![MAX_B, MAX_B]);
+            for (x, y) in certain {
+                rel.push_certain(&[x, y]);
+            }
+            for (dx, dy) in uncertain {
+                rel.push_uncertain(vec![dx, dy]);
+            }
+            rel
+        })
+}
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        (0u32..=MAX_B as u32, 0u32..=MAX_B as u32).prop_map(|(x, y)| vec![x, y]),
+        0..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The central identity: `p̂ = Π_u Pr(S_u ∈ Dominated(R̂))` equals the
+    /// brute-force probability that the certain skyline IS the skyline —
+    /// a world's skyline equals R̂ iff every uncertain item is dominated
+    /// by R̂ (transitivity argument in the module docs).
+    #[test]
+    fn factorized_confidence_equals_world_enumeration(rel in arb_relation()) {
+        let state = skyline_state(&rel);
+        let brute = pws_skyline_probability(&rel, &state.skyline);
+        prop_assert!(
+            (state.confidence - brute).abs() < 1e-9,
+            "fast {} vs brute {}", state.confidence, brute
+        );
+    }
+
+    /// Domination factors are probabilities, and the confidence is their
+    /// product.
+    #[test]
+    fn factors_are_probabilities(rel in arb_relation()) {
+        let state = skyline_state(&rel);
+        let mut product = 1.0;
+        for &(_, p) in &state.factors {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "factor {p}");
+            product *= p;
+        }
+        prop_assert!((product - state.confidence).abs() < 1e-12);
+    }
+
+    /// `prob_dominated` is monotone in the point set: more dominating
+    /// points can only grow the dominated region.
+    #[test]
+    fn prob_dominated_monotone_in_points(
+        rel in arb_relation(),
+        points in arb_points(),
+        extra in (0u32..=MAX_B as u32, 0u32..=MAX_B as u32),
+    ) {
+        let bigger: Vec<Vec<u32>> = points
+            .iter()
+            .cloned()
+            .chain(std::iter::once(vec![extra.0, extra.1]))
+            .collect();
+        for u in rel.uncertain_ids() {
+            let p_small = prob_dominated(&rel, u, &points);
+            let p_big = prob_dominated(&rel, u, &bigger);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&p_small));
+            prop_assert!(
+                p_big >= p_small - 1e-12,
+                "item {u}: adding a point shrank Pr(dominated): {p_small} → {p_big}"
+            );
+        }
+    }
+
+    /// The 2-D staircase fast path agrees with direct support enumeration.
+    #[test]
+    fn staircase_matches_enumeration(rel in arb_relation(), points in arb_points()) {
+        for u in rel.uncertain_ids() {
+            let fast = prob_dominated(&rel, u, &points);
+            // direct: Σ_{x,y} Pr(X=x)Pr(Y=y) · 1[∃p: p ≻ (x,y)]
+            let mut direct = 0.0;
+            for x in 0..=MAX_B as u32 {
+                for y in 0..=MAX_B as u32 {
+                    let px = pmf_of(&rel, u, 0, x);
+                    let py = pmf_of(&rel, u, 1, y);
+                    if px * py > 0.0 && points.iter().any(|p| dominates(p, &[x, y])) {
+                        direct += px * py;
+                    }
+                }
+            }
+            prop_assert!((fast - direct).abs() < 1e-9, "item {u}: {fast} vs {direct}");
+        }
+    }
+
+    /// Skyline structural invariants: members never dominate each other,
+    /// non-members are always dominated by some member, and the skyline of
+    /// the skyline is itself.
+    #[test]
+    fn skyline_structural_invariants(
+        vectors in proptest::collection::vec(
+            (0u32..=6, 0u32..=6).prop_map(|(x, y)| vec![x, y]), 1..12),
+    ) {
+        let tagged: Vec<(usize, Vec<u32>)> = vectors.into_iter().enumerate().collect();
+        let sky = skyline_of(&tagged);
+        prop_assert!(!sky.is_empty(), "a non-empty set always has a maximal element");
+        let members: Vec<&Vec<u32>> =
+            sky.iter().map(|id| &tagged.iter().find(|(i, _)| i == id).unwrap().1).collect();
+        for a in &members {
+            for b in &members {
+                prop_assert!(!dominates(a, b), "skyline member dominated: {a:?} ≻ {b:?}");
+            }
+        }
+        for (id, v) in &tagged {
+            if !sky.contains(id) {
+                prop_assert!(
+                    members.iter().any(|m| dominates(m, v)),
+                    "non-member {v:?} not dominated by any member"
+                );
+            }
+        }
+        // idempotence
+        let again: Vec<(usize, Vec<u32>)> = sky
+            .iter()
+            .map(|&id| (id, tagged.iter().find(|(i, _)| *i == id).unwrap().1.clone()))
+            .collect();
+        let mut sky2 = skyline_of(&again);
+        let mut sky1 = sky.clone();
+        sky1.sort_unstable();
+        sky2.sort_unstable();
+        prop_assert_eq!(sky1, sky2);
+    }
+
+    /// Cleaning an item to its modal bucket vector keeps all invariants
+    /// and produces a state whose confidence still matches brute force.
+    #[test]
+    fn cleaning_preserves_the_identity(rel in arb_relation()) {
+        let mut rel = rel;
+        if let Some(&u) = rel.uncertain_ids().first() {
+            // clean to each dimension's most probable bucket
+            let v: Vec<u32> = (0..rel.dims())
+                .map(|j| {
+                    (0..=MAX_B as u32)
+                        .max_by(|&a, &b| {
+                            pmf_of(&rel, u, j, a)
+                                .partial_cmp(&pmf_of(&rel, u, j, b))
+                                .unwrap()
+                        })
+                        .unwrap()
+                })
+                .collect();
+            rel.clean(u, &v);
+            prop_assert!(rel.is_certain(u));
+            let state = skyline_state(&rel);
+            let brute = pws_skyline_probability(&rel, &state.skyline);
+            prop_assert!((state.confidence - brute).abs() < 1e-9);
+        }
+    }
+}
+
+/// Pr(dimension `j` of item `u` equals bucket `b`), via the public API.
+fn pmf_of(rel: &VectorRelation, u: usize, j: usize, b: u32) -> f64 {
+    rel.dim_pmf(u, j, b as usize)
+}
