@@ -9,9 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use everest_core::dist::DiscreteDist;
 use everest_core::semantics::{expected_rank_topk, expected_ranks};
-use everest_core::skyline::{
-    dominates, prob_dominated, skyline_of, skyline_state, VectorRelation,
-};
+use everest_core::skyline::{dominates, prob_dominated, skyline_of, skyline_state, VectorRelation};
 use everest_core::xtuple::UncertainRelation;
 use everest_evql::{analyze_select, parse, SessionSettings};
 use rand::rngs::StdRng;
@@ -48,7 +46,12 @@ fn random_vector_relation(n: usize, seed: u64) -> VectorRelation {
 fn random_points(s: usize, seed: u64) -> Vec<Vec<u32>> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..s)
-        .map(|_| vec![rng.gen_range(0..=MAX_B as u32), rng.gen_range(0..=MAX_B as u32)])
+        .map(|_| {
+            vec![
+                rng.gen_range(0..=MAX_B as u32),
+                rng.gen_range(0..=MAX_B as u32),
+            ]
+        })
         .collect()
 }
 
@@ -116,8 +119,9 @@ fn random_relation(n: usize, seed: u64) -> UncertainRelation {
     let mut rel = UncertainRelation::new(1.0, MAX_B);
     for _ in 0..n {
         let center: f64 = rng.gen_range(0.0..MAX_B as f64);
-        let masses: Vec<f64> =
-            (0..=MAX_B).map(|b| (-((b as f64 - center) / 1.2).powi(2)).exp() + 1e-9).collect();
+        let masses: Vec<f64> = (0..=MAX_B)
+            .map(|b| (-((b as f64 - center) / 1.2).powi(2)).exp() + 1e-9)
+            .collect();
         rel.push_uncertain(DiscreteDist::from_masses(&masses));
     }
     rel
@@ -157,8 +161,9 @@ fn bench_evql_frontend(c: &mut Criterion) {
     let stmts: Vec<_> = queries
         .iter()
         .filter_map(|q| match parse(q).unwrap() {
-            everest_evql::ast::Statement::Select(s)
-            | everest_evql::ast::Statement::Explain(s) => Some(s),
+            everest_evql::ast::Statement::Select(s) | everest_evql::ast::Statement::Explain(s) => {
+                Some(s)
+            }
             _ => None,
         })
         .collect();
@@ -172,5 +177,10 @@ fn bench_evql_frontend(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_skyline, bench_expected_ranks, bench_evql_frontend);
+criterion_group!(
+    benches,
+    bench_skyline,
+    bench_expected_ranks,
+    bench_evql_frontend
+);
 criterion_main!(benches);

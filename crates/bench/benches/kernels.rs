@@ -88,7 +88,10 @@ fn bench_select_candidate(c: &mut Criterion) {
 
 fn bench_diff_detector(c: &mut Criterion) {
     let timeline = Timeline::generate(
-        &ArrivalConfig { n_frames: 1_200, ..ArrivalConfig::default() },
+        &ArrivalConfig {
+            n_frames: 1_200,
+            ..ArrivalConfig::default()
+        },
         3,
     );
     let video = SyntheticVideo::new(SceneConfig::default(), timeline, 3, 30.0);
@@ -108,7 +111,9 @@ fn bench_diff_detector(c: &mut Criterion) {
 
 fn bench_cmdn_forward(c: &mut Criterion) {
     let mut model = Cmdn::new(CmdnConfig::default());
-    let input: Vec<f32> = (0..32 * 32).map(|i| (i as f32 * 0.01).sin().abs()).collect();
+    let input: Vec<f32> = (0..32 * 32)
+        .map(|i| (i as f32 * 0.01).sin().abs())
+        .collect();
     c.bench_function("cmdn_forward_32x32", |b| {
         b.iter(|| black_box(model.predict(black_box(&input))))
     });
@@ -116,9 +121,21 @@ fn bench_cmdn_forward(c: &mut Criterion) {
 
 fn bench_quantize(c: &mut Criterion) {
     let mix = GaussianMixture::new(vec![
-        Component { weight: 0.5, mean: 3.0, std: 0.8 },
-        Component { weight: 0.3, mean: 7.0, std: 1.2 },
-        Component { weight: 0.2, mean: 12.0, std: 2.0 },
+        Component {
+            weight: 0.5,
+            mean: 3.0,
+            std: 0.8,
+        },
+        Component {
+            weight: 0.3,
+            mean: 7.0,
+            std: 1.2,
+        },
+        Component {
+            weight: 0.2,
+            mean: 12.0,
+            std: 2.0,
+        },
     ]);
     c.bench_function("quantize_mixture_20_buckets", |b| {
         b.iter(|| black_box(mix.quantize(1.0, MAX_BUCKET)))
@@ -135,7 +152,9 @@ fn bench_window_build(c: &mut Criterion) {
     let windows = tumbling_windows(n, 30);
     c.bench_function("window_relation_6000f_w30", |b| {
         b.iter(|| {
-            black_box(build_window_relation(&mixtures, &segments, &windows, 0.25, 80))
+            black_box(build_window_relation(
+                &mixtures, &segments, &windows, 0.25, 80,
+            ))
         })
     });
 }
@@ -146,8 +165,8 @@ fn bench_prefetch_traces(c: &mut Criterion) {
     // candidate access pattern: clustered around bursts, consumed noisily
     let mut consumption: Vec<usize> = (0..2_000)
         .map(|_| {
-            let cluster = rng.gen_range(0..20) * 5_000;
-            cluster + rng.gen_range(0..300)
+            let cluster = rng.gen_range(0..20usize) * 5_000;
+            cluster + rng.gen_range(0..300usize)
         })
         .collect();
     let mut sorted = consumption.clone();

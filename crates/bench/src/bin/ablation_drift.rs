@@ -51,7 +51,10 @@ fn phase1_cfg(seed: u64) -> Phase1Config {
         sample_cap: 600,
         sample_min: 200,
         grid: HyperGrid::single(3, 16),
-        train: TrainConfig { epochs: 15, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 15,
+            ..TrainConfig::default()
+        },
         conv_channels: vec![8, 16],
         quant_step: 1.0,
         seed,
@@ -121,7 +124,10 @@ fn main() {
     let drifted = PreparedVideo::from_parts(drifted_phase1, n_frames(&video_b));
 
     println!("Top-{k} (thres 0.9) on video B:\n");
-    println!("{:<22} {:>10} {:>9} {:>10} {:>10}", "proxy", "cleaned%", "speedup", "precision", "converged");
+    println!(
+        "{:<22} {:>10} {:>9} {:>10} {:>10}",
+        "proxy", "cleaned%", "speedup", "precision", "converged"
+    );
     for row in [
         run(&native, &oracle_b, "native (trained on B)", k),
         run(&drifted, &oracle_b, "drifted (trained on A)", k),

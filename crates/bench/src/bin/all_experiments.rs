@@ -21,7 +21,10 @@ use everest_video::visualroad::{VisualRoadConfig, VisualRoadVideo};
 fn main() {
     let scale = scale_from_env();
     let k = scale.default_k;
-    println!("===== Everest reproduction — full experiment suite (scale = {}) =====", scale.name);
+    println!(
+        "===== Everest reproduction — full experiment suite (scale = {}) =====",
+        scale.name
+    );
 
     // ---------- Table 7 ----------
     println!("\n===== Table 7: dataset characteristics =====");
@@ -58,8 +61,7 @@ fn main() {
     println!("\n===== Table 8: latency breakdown + Phase-2 detail =====");
     println!(
         "{:<18} {:>8} {:>8} {:>9} {:>8} {:>9} | {:>10} {:>10}",
-        "dataset", "label%", "train%", "populate%", "select%", "confirm%",
-        "iterations", "%cleaned"
+        "dataset", "label%", "train%", "populate%", "select%", "confirm%", "iterations", "%cleaned"
     );
     for ds in &datasets {
         let (report, _) = run_everest(ds, k, 0.9);
@@ -93,13 +95,12 @@ fn main() {
         println!("\n--- {} ---", ds.name);
         for &thres in &[0.5, 0.75, 0.9, 0.95, 0.99] {
             let (report, row) = run_everest(ds, k, thres);
-            print_sweep_row(
-                &format!("thres={thres}"),
-                &row,
-            );
+            print_sweep_row(&format!("thres={thres}"), &row);
             println!(
                 "{:<18} iterations {}  cleaned {:.2}%",
-                "", report.iterations, 100.0 * report.pct_cleaned()
+                "",
+                report.iterations,
+                100.0 * report.pct_cleaned()
             );
         }
     }
@@ -125,7 +126,11 @@ fn main() {
     let vr_frames = 18_000 / scale.shrink as usize;
     for &cars in &[50usize, 100, 150, 200, 250] {
         let video = VisualRoadVideo::new(
-            VisualRoadConfig { total_cars: cars, n_frames: vr_frames, ..Default::default() },
+            VisualRoadConfig {
+                total_cars: cars,
+                n_frames: vr_frames,
+                ..Default::default()
+            },
             4_000 + cars as u64,
         );
         let oracle = InstrumentedOracle::new(counting_oracle_visualroad(&video));
@@ -155,9 +160,11 @@ fn main() {
         let truth = GroundTruth::new(oracle.inner().all_scores().to_vec());
         let scan = oracle.num_frames() as f64 * oracle.cost_per_frame();
         println!("\n--- {name} ({} frames) ---", oracle.num_frames());
-        for (label, kk, thres) in
-            [("Top-K/0.9", k, 0.9), ("Top-2K/0.9", 2 * k, 0.9), ("Top-K/0.75", k, 0.75)]
-        {
+        for (label, kk, thres) in [
+            ("Top-K/0.9", k, 0.9),
+            ("Top-2K/0.9", 2 * k, 0.9),
+            ("Top-K/0.75", k, 0.75),
+        ] {
             let report = prepared.query_topk(&oracle, kk, thres, &CleanerConfig::default());
             let quality = evaluate_topk(&truth, &report.frames(), kk);
             let row = MethodRow {
@@ -189,9 +196,15 @@ fn main() {
     // ---------- Ablations (DESIGN.md §6) ----------
     println!("\n===== Ablations =====");
     let ds = &datasets[0]; // the smallest dataset keeps this section fast
-    println!("\n--- batch size b vs oracle work (Top-{k}, thres 0.9, {}) ---", ds.name);
+    println!(
+        "\n--- batch size b vs oracle work (Top-{k}, thres 0.9, {}) ---",
+        ds.name
+    );
     for &b in &[1usize, 4, 8, 16, 32] {
-        let cfg = CleanerConfig { batch_size: b, ..CleanerConfig::default() };
+        let cfg = CleanerConfig {
+            batch_size: b,
+            ..CleanerConfig::default()
+        };
         let report = ds.prepared.query_topk(&ds.oracle, k, 0.9, &cfg);
         println!(
             "b={:<3} cleaned {:>5} frames in {:>5} iterations (confirm {:>7.1}s sim)",
@@ -203,7 +216,10 @@ fn main() {
     }
     println!("\n--- ψ re-sort period (first 100 iterations) ---");
     for &period in &[1usize, 10, 50] {
-        let cfg = CleanerConfig { resort_period: period, ..CleanerConfig::default() };
+        let cfg = CleanerConfig {
+            resort_period: period,
+            ..CleanerConfig::default()
+        };
         let started = std::time::Instant::now();
         let report = ds.prepared.query_topk(&ds.oracle, k, 0.9, &cfg);
         println!(

@@ -9,7 +9,10 @@ use everest_bench::harness::{
 
 fn main() {
     let scale = scale_from_env();
-    println!("Figure 6: impact of thres, Top-{} (scale = {})", scale.default_k, scale.name);
+    println!(
+        "Figure 6: impact of thres, Top-{} (scale = {})",
+        scale.default_k, scale.name
+    );
     for (i, spec) in dataset_specs(&scale).iter().enumerate() {
         let ds = prepare_dataset(spec, 1_000 + i as u64, &scale);
         println!("\n--- {} ---", ds.name);

@@ -9,8 +9,8 @@
 //! `cargo run --release -p everest-bench --bin fig7`
 
 use everest_bench::harness::{
-    dataset_specs, n_frames, prepare_dataset, print_sweep_row, run_everest,
-    run_everest_windows, scale_from_env,
+    dataset_specs, n_frames, prepare_dataset, print_sweep_row, run_everest, run_everest_windows,
+    scale_from_env,
 };
 
 fn main() {

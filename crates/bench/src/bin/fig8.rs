@@ -23,14 +23,17 @@ fn main() {
     );
     for &cars in &[50usize, 100, 150, 200, 250] {
         let video = VisualRoadVideo::new(
-            VisualRoadConfig { total_cars: cars, n_frames, ..VisualRoadConfig::default() },
+            VisualRoadConfig {
+                total_cars: cars,
+                n_frames,
+                ..VisualRoadConfig::default()
+            },
             4_000 + cars as u64,
         );
         let oracle = InstrumentedOracle::new(counting_oracle_visualroad(&video));
         let cfg = phase1_cfg(&scale, 1.0, 4_000 + cars as u64);
         let prepared = Everest::prepare(&video, &oracle, &cfg);
-        let report =
-            prepared.query_topk(&oracle, scale.default_k, 0.9, &CleanerConfig::default());
+        let report = prepared.query_topk(&oracle, scale.default_k, 0.9, &CleanerConfig::default());
         let truth = GroundTruth::new(oracle.inner().all_scores().to_vec());
         let quality = evaluate_topk(&truth, &report.frames(), scale.default_k);
         let scan = oracle.num_frames() as f64 * oracle.cost_per_frame();

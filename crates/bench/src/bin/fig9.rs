@@ -63,8 +63,7 @@ fn main() {
         );
         let exact = exact_window_scores(oracle.inner().all_scores(), &windows);
         let wtruth = GroundTruth::new(exact);
-        let answer: Vec<usize> =
-            report.items.iter().map(|i| i.frame / window_len).collect();
+        let answer: Vec<usize> = report.items.iter().map(|i| i.frame / window_len).collect();
         let quality = evaluate_topk(&wtruth, &answer, k_w);
         let row = MethodRow {
             method: "window".into(),

@@ -60,7 +60,11 @@ fn print_comparison(name: &str, rel: &UncertainRelation, k: usize, ptk_p: f64) {
         "U-TopK      : {:?}  Pr(set) = {:.4}{}",
         cmp.u_topk.0,
         cmp.u_topk.1,
-        if cmp.u_topk.1 < 0.5 { "   ← no threshold guarantee (§2)" } else { "" }
+        if cmp.u_topk.1 < 0.5 {
+            "   ← no threshold guarantee (§2)"
+        } else {
+            ""
+        }
     );
     let kranks_items: Vec<usize> = cmp.u_kranks.iter().map(|&(f, _)| f).collect();
     let repeats = {
@@ -70,14 +74,22 @@ fn print_comparison(name: &str, rel: &UncertainRelation, k: usize, ptk_p: f64) {
     println!(
         "U-KRanks    : {:?}{}",
         cmp.u_kranks,
-        if repeats { "   ← one item wins several ranks (§2)" } else { "" }
+        if repeats {
+            "   ← one item wins several ranks (§2)"
+        } else {
+            ""
+        }
     );
     println!(
         "PT-k(p={:.2}): {:?}  |result| = {}{}",
         cmp.ptk_threshold,
         cmp.ptk,
         cmp.ptk.len(),
-        if cmp.ptk.len() != k { "   ← wrong cardinality (§2)" } else { "" }
+        if cmp.ptk.len() != k {
+            "   ← wrong cardinality (§2)"
+        } else {
+            ""
+        }
     );
     println!("ExpRank [19]: {:?}", cmp.expected_rank);
 }
@@ -97,7 +109,11 @@ fn main() {
     let out = run_cleaner(
         &mut working,
         &mut oracle,
-        &CleanerConfig { k: 3, thres: 0.9, ..Default::default() },
+        &CleanerConfig {
+            k: 3,
+            thres: 0.9,
+            ..Default::default()
+        },
     );
     println!(
         "\nEverest     : {:?}  Pr(R̂ = R) = {:.4} ≥ 0.9, all oracle-confirmed \

@@ -11,8 +11,14 @@ fn main() {
     println!("Table 7: Dataset Characteristics (scale = {})", scale.name);
     println!(
         "{:<18} {:<8} {:>11} {:>5} {:>12} {:>9} {:>12} {:>10}",
-        "video", "object", "resolution", "fps", "paper-frames", "paper-hrs",
-        "repro-frames", "repro-mins"
+        "video",
+        "object",
+        "resolution",
+        "fps",
+        "paper-frames",
+        "paper-hrs",
+        "repro-frames",
+        "repro-mins"
     );
     for d in dataset_specs(&scale) {
         println!(

@@ -15,8 +15,7 @@ fn main() {
     );
     println!(
         "{:<18} {:>8} {:>8} {:>9} {:>8} {:>9} | {:>10} {:>10}",
-        "dataset", "label%", "train%", "populate%", "select%", "confirm%",
-        "iterations", "%cleaned"
+        "dataset", "label%", "train%", "populate%", "select%", "confirm%", "iterations", "%cleaned"
     );
     for (i, spec) in dataset_specs(&scale).iter().enumerate() {
         let ds = prepare_dataset(spec, 1_000 + i as u64, &scale);

@@ -14,8 +14,7 @@ use everest_core::metrics::{evaluate_topk, GroundTruth, ResultQuality};
 use everest_core::phase1::Phase1Config;
 use everest_core::pipeline::{Everest, PreparedVideo, QueryReport};
 use everest_models::{
-    counting_oracle, ExactScoreOracle, HogScorer, InstrumentedOracle,
-    TinyYoloScorer,
+    counting_oracle, ExactScoreOracle, HogScorer, InstrumentedOracle, TinyYoloScorer,
 };
 use everest_nn::train::TrainConfig;
 use everest_nn::HyperGrid;
@@ -59,7 +58,10 @@ pub fn scale_from_env() -> Scale {
             name: "mid",
             shrink: 4,
             sample_cap: 1_000,
-            grid: HyperGrid { gaussians: vec![5, 8], hidden: vec![24] },
+            grid: HyperGrid {
+                gaussians: vec![5, 8],
+                hidden: vec![24],
+            },
             epochs: 30,
             default_k: 50,
         },
@@ -91,7 +93,10 @@ pub fn phase1_cfg(scale: &Scale, quant_step: f64, seed: u64) -> Phase1Config {
         sample_cap: scale.sample_cap,
         sample_min: 300,
         grid: scale.grid.clone(),
-        train: TrainConfig { epochs: scale.epochs, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: scale.epochs,
+            ..TrainConfig::default()
+        },
         quant_step,
         seed,
         ..Phase1Config::default()
@@ -138,12 +143,10 @@ pub struct MethodRow {
 }
 
 /// Runs the Everest query and evaluates it against the whole-video truth.
-pub fn run_everest(
-    ds: &PreparedDataset,
-    k: usize,
-    thres: f64,
-) -> (QueryReport, MethodRow) {
-    let report = ds.prepared.query_topk(&ds.oracle, k, thres, &CleanerConfig::default());
+pub fn run_everest(ds: &PreparedDataset, k: usize, thres: f64) -> (QueryReport, MethodRow) {
+    let report = ds
+        .prepared
+        .query_topk(&ds.oracle, k, thres, &CleanerConfig::default());
     let quality = evaluate_topk(&ds.truth, &report.frames(), k);
     let scan = scan_cost(&ds.oracle);
     let row = MethodRow {
@@ -172,13 +175,9 @@ pub fn run_everest_windows(
         &CleanerConfig::default(),
     );
     let windows = ds.prepared.windows(window_len);
-    let exact = everest_core::window::exact_window_scores(
-        ds.oracle.inner().all_scores(),
-        &windows,
-    );
+    let exact = everest_core::window::exact_window_scores(ds.oracle.inner().all_scores(), &windows);
     let truth = GroundTruth::new(exact);
-    let answer: Vec<usize> =
-        report.items.iter().map(|i| i.frame / window_len).collect();
+    let answer: Vec<usize> = report.items.iter().map(|i| i.frame / window_len).collect();
     let quality = evaluate_topk(&truth, &answer, k);
     let scan = scan_cost(&ds.oracle);
     let row = MethodRow {
@@ -248,7 +247,10 @@ pub fn print_method_table(dataset: &str, rows: &[MethodRow]) {
 pub fn print_sweep_row(label: &str, row: &MethodRow) {
     println!(
         "{:<18} speedup {:>6.1}x  precision {:>5.3}  rank-dist {:>7.4}  score-err {:>6.3}",
-        label, row.speedup, row.quality.precision, row.quality.rank_distance,
+        label,
+        row.speedup,
+        row.quality.precision,
+        row.quality.rank_distance,
         row.quality.score_error
     );
 }

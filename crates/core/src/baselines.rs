@@ -59,9 +59,11 @@ pub fn cheap_scan(scorer: &dyn CheapScorer, k: usize) -> BaselineResult {
 /// the mean of their CMDN score distribution.
 pub fn cmdn_only(prepared: &PreparedVideo, k: usize) -> BaselineResult {
     let retained = prepared.phase1.segments.retained();
-    let means: Vec<f64> =
-        prepared.phase1.mixtures.iter().map(|m| m.mean()).collect();
-    let topk = topk_indices(&means, k).into_iter().map(|p| retained[p]).collect();
+    let means: Vec<f64> = prepared.phase1.mixtures.iter().map(|m| m.mean()).collect();
+    let topk = topk_indices(&means, k)
+        .into_iter()
+        .map(|p| retained[p])
+        .collect();
     BaselineResult {
         name: "cmdn-only".into(),
         topk,
@@ -142,7 +144,6 @@ fn inverse_normal_tail(tail: f64) -> f64 {
     0.5 * (lo + hi)
 }
 
-
 /// The paper's calibration protocol: sweep λ and report the run with the
 /// largest speedup subject to precision ≥ `precision_target` (falling back
 /// to the most precise run when none qualifies).
@@ -158,19 +159,19 @@ pub fn select_and_topk_calibrated(
     let mut best_ok: Option<(f64, BaselineResult)> = None; // (sim, result)
     let mut best_any: Option<(f64, BaselineResult)> = None; // (precision, result)
     for &lambda in &lambdas {
-        let Some(result) = select_and_topk_at_lambda(prepared, oracle, k, lambda, 0.05)
-        else {
+        let Some(result) = select_and_topk_at_lambda(prepared, oracle, k, lambda, 0.05) else {
             continue;
         };
         let q = evaluate_topk(&truth, &result.topk, k);
         if q.precision >= precision_target {
-            let better = best_ok.as_ref().map_or(true, |(s, _)| result.sim_seconds < *s);
+            let better = best_ok
+                .as_ref()
+                .is_none_or(|(s, _)| result.sim_seconds < *s);
             if better {
                 best_ok = Some((result.sim_seconds, result.clone()));
             }
         }
-        let better_any =
-            best_any.as_ref().map_or(true, |(p, _)| q.precision > *p);
+        let better_any = best_any.as_ref().is_none_or(|(p, _)| q.precision > *p);
         if better_any {
             best_any = Some((q.precision, result));
         }
@@ -187,9 +188,7 @@ mod tests {
     use crate::metrics::{evaluate_topk, GroundTruth};
     use crate::phase1::Phase1Config;
     use crate::pipeline::Everest;
-    use everest_models::{
-        counting_oracle, HogScorer, InstrumentedOracle, TinyYoloScorer,
-    };
+    use everest_models::{counting_oracle, HogScorer, InstrumentedOracle, TinyYoloScorer};
     use everest_nn::train::TrainConfig;
     use everest_nn::HyperGrid;
     use everest_video::arrival::{ArrivalConfig, Timeline};
@@ -197,7 +196,10 @@ mod tests {
 
     fn setup() -> (SyntheticVideo, ExactScoreOracle) {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 1_500, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 1_500,
+                ..ArrivalConfig::default()
+            },
             31,
         );
         let v = SyntheticVideo::new(SceneConfig::default(), tl, 31, 30.0);
@@ -209,9 +211,13 @@ mod tests {
         Phase1Config {
             sample_frac: 0.1,
             sample_cap: 150,
-        sample_min: 32,
+            sample_min: 32,
             grid: HyperGrid::single(3, 16),
-            train: TrainConfig { epochs: 8, batch_size: 32, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 8,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
             conv_channels: vec![6, 12],
             threads: 4,
             ..Phase1Config::default()

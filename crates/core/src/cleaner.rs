@@ -94,7 +94,10 @@ pub fn run_cleaner(
     cfg: &CleanerConfig,
 ) -> CleanOutcome {
     assert!(cfg.k >= 1, "K must be at least 1");
-    assert!((0.0..=1.0).contains(&cfg.thres), "thres must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&cfg.thres),
+        "thres must be a probability"
+    );
     assert!(cfg.batch_size >= 1);
     assert!(
         rel.len() >= cfg.k,
@@ -115,17 +118,18 @@ pub fn run_cleaner(
     let mut select_time = Duration::ZERO;
     let max_bucket = rel.max_bucket();
 
-    let mut clean_items = |items: &[ItemId],
-                           rel: &mut UncertainRelation,
-                           h: &mut JointCdf,
-                           certain: &mut BTreeSet<(Reverse<u32>, ItemId)>| {
-        let buckets = oracle.clean_batch(items);
-        for (&id, &b) in items.iter().zip(buckets.iter()) {
-            let old = rel.clean(id, b);
-            h.remove(&old);
-            certain.insert((Reverse(b), id));
-        }
-    };
+    let mut clean_items =
+        |items: &[ItemId],
+         rel: &mut UncertainRelation,
+         h: &mut JointCdf,
+         certain: &mut BTreeSet<(Reverse<u32>, ItemId)>| {
+            let buckets = oracle.clean_batch(items);
+            for (&id, &b) in items.iter().zip(buckets.iter()) {
+                let old = rel.clean(id, b);
+                h.remove(&old);
+                certain.insert((Reverse(b), id));
+            }
+        };
 
     loop {
         // Remaining cleaning budget under `max_cleanings` (None = unlimited).
@@ -166,10 +170,13 @@ pub fn run_cleaner(
         }
 
         // Threshold frame k_i and penultimate frame p_i from the certain set.
-        let top: Vec<(Reverse<u32>, ItemId)> =
-            certain.iter().take(cfg.k).copied().collect();
+        let top: Vec<(Reverse<u32>, ItemId)> = certain.iter().take(cfg.k).copied().collect();
         let s_k = top[cfg.k - 1].0 .0 as usize;
-        let s_p = if cfg.k >= 2 { top[cfg.k - 2].0 .0 as usize } else { max_bucket };
+        let s_p = if cfg.k >= 2 {
+            top[cfg.k - 2].0 .0 as usize
+        } else {
+            max_bucket
+        };
 
         let confidence = topk_prob(&h, s_k);
         let done = confidence >= cfg.thres || h.members() == 0 || budget == Some(0);
@@ -245,7 +252,11 @@ mod tests {
         let truth: Vec<u32> = (0..200).map(|_| rng.gen_range(0..=10)).collect();
         let (mut rel, t) = noisy_relation(&truth, 10, 20, 2);
         let mut oracle = FnCleaningOracle(|id| t[id]);
-        let cfg = CleanerConfig { k: 5, thres: 0.9, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 5,
+            thres: 0.9,
+            ..Default::default()
+        };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
         assert!(out.converged);
         assert!(out.confidence >= 0.9);
@@ -255,9 +266,15 @@ mod tests {
             assert!(rel.is_certain(id), "answer item {id} is not certain");
         }
         // every answer's exact bucket must be ≥ the threshold bucket
-        let buckets: Vec<u32> =
-            out.topk.iter().map(|&id| rel.certain_bucket(id).unwrap()).collect();
-        assert!(buckets.windows(2).all(|w| w[0] >= w[1]), "not sorted: {buckets:?}");
+        let buckets: Vec<u32> = out
+            .topk
+            .iter()
+            .map(|&id| rel.certain_bucket(id).unwrap())
+            .collect();
+        assert!(
+            buckets.windows(2).all(|w| w[0] >= w[1]),
+            "not sorted: {buckets:?}"
+        );
     }
 
     #[test]
@@ -265,7 +282,12 @@ mod tests {
         let truth: Vec<u32> = vec![3, 1, 4, 0, 2, 4, 1, 3];
         let (mut rel, t) = noisy_relation(&truth, 4, 2, 3);
         let mut oracle = FnCleaningOracle(|id| t[id]);
-        let cfg = CleanerConfig { k: 2, thres: 0.8, batch_size: 1, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 2,
+            thres: 0.8,
+            batch_size: 1,
+            ..Default::default()
+        };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
         let brute = topk_confidence_bruteforce(&rel, &out.topk, 2);
         assert!(
@@ -299,7 +321,12 @@ mod tests {
             }
         }
         let mut oracle = FnCleaningOracle(|id| truth[id]);
-        let cfg = CleanerConfig { k: 1, thres: 0.99, batch_size: 1, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 1,
+            thres: 0.99,
+            batch_size: 1,
+            ..Default::default()
+        };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
         assert!(out.converged);
         // With thres = 0.99 the misleading pair must get cleaned and the
@@ -315,7 +342,11 @@ mod tests {
             rel.push_certain(b);
         }
         let mut oracle = FnCleaningOracle(|_| panic!("oracle must not be called"));
-        let cfg = CleanerConfig { k: 2, thres: 0.99, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 2,
+            thres: 0.99,
+            ..Default::default()
+        };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
         assert_eq!(out.cleaned, 0);
         assert_eq!(out.confidence, 1.0);
@@ -327,7 +358,11 @@ mod tests {
         let truth: Vec<u32> = (0..50).map(|i| (i % 7) as u32).collect();
         let (mut rel, t) = noisy_relation(&truth, 6, 0, 5);
         let mut oracle = FnCleaningOracle(|id| t[id]);
-        let cfg = CleanerConfig { k: 3, thres: 0.0, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 3,
+            thres: 0.0,
+            ..Default::default()
+        };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
         // Needs K certain items, then any confidence passes.
         assert_eq!(out.cleaned, 3);
@@ -359,12 +394,19 @@ mod tests {
         let run = |thres: f64| {
             let (mut rel, t) = noisy_relation(&truth, 12, 30, 8);
             let mut oracle = FnCleaningOracle(|id| t[id]);
-            let cfg = CleanerConfig { k: 10, thres, ..Default::default() };
+            let cfg = CleanerConfig {
+                k: 10,
+                thres,
+                ..Default::default()
+            };
             run_cleaner(&mut rel, &mut oracle, &cfg).cleaned
         };
         let low = run(0.5);
         let high = run(0.99);
-        assert!(high >= low, "thres 0.99 cleaned {high} < thres 0.5 cleaned {low}");
+        assert!(
+            high >= low,
+            "thres 0.99 cleaned {high} < thres 0.5 cleaned {low}"
+        );
     }
 
     #[test]
@@ -385,12 +427,19 @@ mod tests {
         let (mut rel, t) = noisy_relation(&truth, 15, 25, 10);
         let t2 = t.clone();
         let mut oracle = FnCleaningOracle(|id| t2[id]);
-        let cfg = CleanerConfig { k: 8, thres: 0.99, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 8,
+            thres: 0.99,
+            ..Default::default()
+        };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
         let mut expect: Vec<u32> = t.clone();
         expect.sort_unstable_by(|a, b| b.cmp(a));
-        let got: Vec<u32> =
-            out.topk.iter().map(|&id| rel.certain_bucket(id).unwrap()).collect();
+        let got: Vec<u32> = out
+            .topk
+            .iter()
+            .map(|&id| rel.certain_bucket(id).unwrap())
+            .collect();
         // allow the bottom item to differ by ties only when confidence < 1
         for (g, e) in got.iter().zip(expect.iter()) {
             assert!(

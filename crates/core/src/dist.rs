@@ -44,7 +44,10 @@ impl DiscreteDist {
 
     /// A point mass at `bucket` on a grid of `max_bucket + 1` buckets.
     pub fn certain(bucket: usize, max_bucket: usize) -> Self {
-        assert!(bucket <= max_bucket, "bucket {bucket} beyond grid {max_bucket}");
+        assert!(
+            bucket <= max_bucket,
+            "bucket {bucket} beyond grid {max_bucket}"
+        );
         let mut masses = vec![0.0; max_bucket + 1];
         masses[bucket] = 1.0;
         DiscreteDist::from_masses(&masses)
@@ -85,17 +88,27 @@ impl DiscreteDist {
 
     /// Mean bucket value (in bucket units).
     pub fn mean_bucket(&self) -> f64 {
-        self.pmf.iter().enumerate().map(|(b, &p)| b as f64 * p).sum()
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(b, &p)| b as f64 * p)
+            .sum()
     }
 
     /// Smallest bucket with positive mass.
     pub fn support_min(&self) -> usize {
-        self.pmf.iter().position(|&p| p > 0.0).expect("normalised dist has mass")
+        self.pmf
+            .iter()
+            .position(|&p| p > 0.0)
+            .expect("normalised dist has mass")
     }
 
     /// Largest bucket with positive mass.
     pub fn support_max(&self) -> usize {
-        self.pmf.iter().rposition(|&p| p > 0.0).expect("normalised dist has mass")
+        self.pmf
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("normalised dist has mass")
     }
 
     /// Samples a bucket given a uniform `u ∈ [0, 1)` (inverse CDF).

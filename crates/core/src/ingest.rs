@@ -69,7 +69,10 @@ pub enum IngestError {
     Io(std::io::Error),
     Format(serde_json::Error),
     /// The file's version is not readable by this build.
-    Version { found: u32, supported: u32 },
+    Version {
+        found: u32,
+        supported: u32,
+    },
     /// Internal inconsistency (corrupted or hand-edited file).
     Integrity(String),
 }
@@ -80,7 +83,10 @@ impl std::fmt::Display for IngestError {
             IngestError::Io(e) => write!(f, "ingest I/O error: {e}"),
             IngestError::Format(e) => write!(f, "ingest format error: {e}"),
             IngestError::Version { found, supported } => {
-                write!(f, "ingest index version {found} unsupported (this build reads {supported})")
+                write!(
+                    f,
+                    "ingest index version {found} unsupported (this build reads {supported})"
+                )
             }
             IngestError::Integrity(msg) => write!(f, "ingest integrity error: {msg}"),
         }
@@ -105,9 +111,8 @@ impl IngestIndex {
     /// Captures a freshly prepared video into a persistable index.
     pub fn from_prepared(video_name: impl Into<String>, prepared: &PreparedVideo) -> Self {
         let p = &prepared.phase1;
-        let mut labeled: Vec<(usize, f64)> =
-            p.labeled.iter().map(|(&k, &v)| (k, v)).collect();
-        labeled.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut labeled: Vec<(usize, f64)> = p.labeled.iter().map(|(&k, &v)| (k, v)).collect();
+        labeled.sort_unstable_by_key(|a| a.0);
         IngestIndex {
             version: INGEST_FORMAT_VERSION,
             video_name: video_name.into(),
@@ -185,7 +190,9 @@ impl IngestIndex {
             }
         }
         if !self.max_labeled_score.is_finite() {
-            return Err(IngestError::Integrity("non-finite max_labeled_score".into()));
+            return Err(IngestError::Integrity(
+                "non-finite max_labeled_score".into(),
+            ));
         }
         if !(self.wall_secs.is_finite() && self.wall_secs >= 0.0) {
             return Err(IngestError::Integrity(format!(
@@ -233,10 +240,16 @@ mod tests {
     use everest_video::arrival::{ArrivalConfig, Timeline};
     use everest_video::scene::{SceneConfig, SyntheticVideo};
 
-    fn prepared_fixture() -> (SyntheticVideo, InstrumentedOracle<everest_models::ExactScoreOracle>, PreparedVideo)
-    {
+    fn prepared_fixture() -> (
+        SyntheticVideo,
+        InstrumentedOracle<everest_models::ExactScoreOracle>,
+        PreparedVideo,
+    ) {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 900, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 900,
+                ..ArrivalConfig::default()
+            },
             17,
         );
         let video = SyntheticVideo::new(SceneConfig::default(), tl, 17, 30.0);
@@ -246,7 +259,10 @@ mod tests {
             sample_cap: 120,
             sample_min: 48,
             grid: HyperGrid::single(2, 8),
-            train: TrainConfig { epochs: 3, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
             conv_channels: vec![4, 8],
             threads: 2,
             ..Phase1Config::default()
@@ -284,10 +300,16 @@ mod tests {
         let index = IngestIndex::from_prepared("fixture", &prepared);
         let mut buf = Vec::new();
         index.write_to(&mut buf).unwrap();
-        let restored =
-            IngestIndex::read_from(buf.as_slice()).unwrap().into_prepared().unwrap();
+        let restored = IngestIndex::read_from(buf.as_slice())
+            .unwrap()
+            .into_prepared()
+            .unwrap();
 
-        let cfg = CleanerConfig { k: 5, thres: 0.9, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 5,
+            thres: 0.9,
+            ..Default::default()
+        };
         let fresh = prepared.query_topk(&oracle, 5, 0.9, &cfg);
         let loaded = restored.query_topk(&oracle, 5, 0.9, &cfg);
         assert_eq!(fresh.frames(), loaded.frames());
@@ -359,7 +381,10 @@ mod tests {
 
         let mut bad = IngestIndex::from_prepared("fixture", &prepared);
         bad.clock.push(("warp_drive".into(), 3.0));
-        assert!(matches!(bad.into_prepared(), Err(IngestError::Integrity(_))));
+        assert!(matches!(
+            bad.into_prepared(),
+            Err(IngestError::Integrity(_))
+        ));
     }
 
     #[test]

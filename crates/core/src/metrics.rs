@@ -81,7 +81,10 @@ pub fn evaluate_topk(truth: &GroundTruth, answer: &[usize], k: usize) -> ResultQ
     assert!(k <= truth.len(), "K exceeds item count");
 
     let threshold = truth.kth_score(k);
-    let hits = answer.iter().filter(|&&id| truth.score(id) >= threshold).count();
+    let hits = answer
+        .iter()
+        .filter(|&&id| truth.score(id) >= threshold)
+        .count();
     let precision = hits as f64 / k as f64;
 
     // Normalized footrule with tie ranges: an item whose score ties others
@@ -117,7 +120,11 @@ pub fn evaluate_topk(truth: &GroundTruth, answer: &[usize], k: usize) -> ResultQ
         .sum::<f64>()
         / k as f64;
 
-    ResultQuality { precision, rank_distance, score_error }
+    ResultQuality {
+        precision,
+        rank_distance,
+        score_error,
+    }
 }
 
 #[cfg(test)]

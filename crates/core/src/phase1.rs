@@ -83,7 +83,10 @@ impl Default for Phase1Config {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
 }
 
 /// Everything Phase 1 produces; reusable across Phase-2 queries on the same
@@ -137,17 +140,16 @@ pub fn render_inputs(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("render worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("render worker panicked"))
+            .collect()
     });
     parts.into_iter().flatten().collect()
 }
 
 /// Runs Phase 1 end to end.
-pub fn run_phase1(
-    video: &dyn VideoStore,
-    oracle: &dyn Oracle,
-    cfg: &Phase1Config,
-) -> Phase1Output {
+pub fn run_phase1(video: &dyn VideoStore, oracle: &dyn Oracle, cfg: &Phase1Config) -> Phase1Output {
     assert_eq!(
         video.num_frames(),
         oracle.num_frames(),
@@ -160,9 +162,15 @@ pub fn run_phase1(
 
     // 1. Difference detection (one sequential decode pass + MSE per frame).
     let segments = DifferenceDetector::new(cfg.diff).run(video);
-    clock.charge(component::POPULATE, n as f64 * DIFF_COST + decode.sequential_scan_cost(n));
+    clock.charge(
+        component::POPULATE,
+        n as f64 * DIFF_COST + decode.sequential_scan_cost(n),
+    );
     let retained = segments.retained().to_vec();
-    assert!(!retained.is_empty(), "difference detector retained no frames");
+    assert!(
+        !retained.is_empty(),
+        "difference detector retained no frames"
+    );
 
     // 2. Sampling plan over retained frames.
     let m_target = ((cfg.sample_frac * n as f64).ceil() as usize)
@@ -186,8 +194,11 @@ pub fn run_phase1(
         labelled_frames.len() as f64 * oracle.cost_per_frame()
             + decode.trace_cost(&labelled_frames),
     );
-    let labeled: HashMap<usize, f64> =
-        labelled_pos.iter().copied().zip(labels.iter().copied()).collect();
+    let labeled: HashMap<usize, f64> = labelled_pos
+        .iter()
+        .copied()
+        .zip(labels.iter().copied())
+        .collect();
     let max_labeled_score = labels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let min_labeled_score = labels.iter().cloned().fold(f64::INFINITY, f64::min);
 
@@ -209,7 +220,10 @@ pub fn run_phase1(
         hidden: 32,
         num_gaussians: 5,
         sigma_min: cfg.sigma_min,
-        target_range: (min_labeled_score, max_labeled_score.max(min_labeled_score + 1.0)),
+        target_range: (
+            min_labeled_score,
+            max_labeled_score.max(min_labeled_score + 1.0),
+        ),
         seed: cfg.seed,
     };
     let outcome = grid_search(&cfg.grid, &base, &cfg.train, &train_set, &holdout_set);
@@ -294,9 +308,15 @@ pub fn populate_with_model(
     );
 
     let segments = DifferenceDetector::new(cfg.diff).run(video);
-    clock.charge(component::POPULATE, n as f64 * DIFF_COST + decode.sequential_scan_cost(n));
+    clock.charge(
+        component::POPULATE,
+        n as f64 * DIFF_COST + decode.sequential_scan_cost(n),
+    );
     let retained = segments.retained().to_vec();
-    assert!(!retained.is_empty(), "difference detector retained no frames");
+    assert!(
+        !retained.is_empty(),
+        "difference detector retained no frames"
+    );
 
     let mut mixtures: Vec<GaussianMixture> = Vec::with_capacity(retained.len());
     for chunk in retained.chunks(8_192) {
@@ -356,7 +376,10 @@ mod tests {
 
     fn tiny_setup() -> (SyntheticVideo, everest_models::ExactScoreOracle) {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 1_200, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 1_200,
+                ..ArrivalConfig::default()
+            },
             13,
         );
         let v = SyntheticVideo::new(SceneConfig::default(), tl, 13, 30.0);
@@ -368,9 +391,13 @@ mod tests {
         Phase1Config {
             sample_frac: 0.1,
             sample_cap: 150,
-        sample_min: 32,
+            sample_min: 32,
             grid: HyperGrid::single(3, 16),
-            train: TrainConfig { epochs: 6, batch_size: 32, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
             conv_channels: vec![6, 12],
             threads: 4,
             ..Phase1Config::default()
@@ -383,7 +410,10 @@ mod tests {
         let out = run_phase1(&v, &o, &fast_cfg());
         assert_eq!(out.relation.len(), out.segments.num_retained());
         assert_eq!(out.mixtures.len(), out.segments.num_retained());
-        assert!(out.relation.num_certain() > 0, "labelled frames must be certain");
+        assert!(
+            out.relation.num_certain() > 0,
+            "labelled frames must be certain"
+        );
         assert!(out.relation.num_uncertain() > 0);
         // labelled certain buckets must equal the oracle's exact counts
         for (&pos, &score) in &out.labeled {

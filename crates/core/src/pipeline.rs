@@ -11,9 +11,7 @@
 use crate::cleaner::{run_cleaner, CleanerConfig, CleaningOracle};
 use crate::phase1::{run_phase1, Phase1Config, Phase1Output};
 use crate::sim::{component, SimClock};
-use crate::window::{
-    build_window_relation, tumbling_windows, WindowCleaningOracle, WindowInfo,
-};
+use crate::window::{build_window_relation, tumbling_windows, WindowCleaningOracle, WindowInfo};
 use crate::xtuple::ItemId;
 use everest_models::Oracle;
 use everest_video::store::DecodeCostModel;
@@ -31,7 +29,10 @@ impl Everest {
         cfg: &Phase1Config,
     ) -> PreparedVideo {
         let phase1 = run_phase1(video, oracle, cfg);
-        PreparedVideo { phase1, n_frames: video.num_frames() }
+        PreparedVideo {
+            phase1,
+            n_frames: video.num_frames(),
+        }
     }
 }
 
@@ -153,7 +154,11 @@ impl PreparedVideo {
             frames_scored: 0,
             trace: Vec::new(),
         };
-        let cfg = CleanerConfig { k, thres, ..cleaner.clone() };
+        let cfg = CleanerConfig {
+            k,
+            thres,
+            ..cleaner.clone()
+        };
         let outcome = run_cleaner(&mut relation, &mut cleaning, &cfg);
 
         let mut clock = self.phase1.clock.clone();
@@ -238,8 +243,7 @@ impl PreparedVideo {
         // Window scores are means of frame scores: reuse the frame grid but
         // refine the step for sub-integer means.
         let step = self.phase1.relation.step() / 4.0;
-        let max_bucket =
-            (self.phase1.relation.max_bucket() * 4 + 4).min(4 * 400);
+        let max_bucket = (self.phase1.relation.max_bucket() * 4 + 4).min(4 * 400);
         let mut relation = build_window_relation(
             &self.phase1.mixtures,
             &self.phase1.segments,
@@ -255,15 +259,18 @@ impl PreparedVideo {
             max_bucket,
             self.phase1_seed() ^ WINDOW_SAMPLE_SALT,
         );
-        let cfg = CleanerConfig { k, thres, ..cleaner.clone() };
+        let cfg = CleanerConfig {
+            k,
+            thres,
+            ..cleaner.clone()
+        };
         let outcome = run_cleaner(&mut relation, &mut cleaning, &cfg);
 
         let mut clock = self.phase1.clock.clone();
         let decode = DecodeCostModel::default();
         clock.charge(
             component::CONFIRM,
-            cleaning.frames_scored as f64
-                * (oracle.cost_per_frame() + decode.seq_cost * 4.0),
+            cleaning.frames_scored as f64 * (oracle.cost_per_frame() + decode.seq_cost * 4.0),
         );
         clock.charge(component::SELECT, outcome.select_time.as_secs_f64());
 
@@ -319,7 +326,10 @@ mod tests {
 
     fn tiny_setup() -> (SyntheticVideo, ExactScoreOracle) {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 1_500, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 1_500,
+                ..ArrivalConfig::default()
+            },
             29,
         );
         let v = SyntheticVideo::new(SceneConfig::default(), tl, 29, 30.0);
@@ -331,9 +341,13 @@ mod tests {
         Phase1Config {
             sample_frac: 0.1,
             sample_cap: 150,
-        sample_min: 32,
+            sample_min: 32,
             grid: HyperGrid::single(3, 16),
-            train: TrainConfig { epochs: 8, batch_size: 32, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 8,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
             conv_channels: vec![6, 12],
             threads: 4,
             ..Phase1Config::default()
@@ -357,7 +371,10 @@ mod tests {
         // quality against exact ground truth over retained frames
         let retained = prepared.phase1.segments.retained();
         let truth = GroundTruth::new(
-            retained.iter().map(|&t| oracle.inner().all_scores()[t]).collect(),
+            retained
+                .iter()
+                .map(|&t| oracle.inner().all_scores()[t])
+                .collect(),
         );
         let answer_pos: Vec<usize> = report
             .items
@@ -401,25 +418,20 @@ mod tests {
         let (v, o) = tiny_setup();
         let oracle = InstrumentedOracle::new(o);
         let prepared = Everest::prepare(&v, &oracle, &fast_phase1());
-        let report = prepared.query_topk_windows(
-            &oracle,
-            5,
-            0.9,
-            30,
-            0.5,
-            &CleanerConfig::default(),
-        );
+        let report =
+            prepared.query_topk_windows(&oracle, 5, 0.9, 30, 0.5, &CleanerConfig::default());
         assert!(report.converged);
         assert_eq!(report.items.len(), 5);
         for item in &report.items {
-            assert_eq!(item.range.1 - item.range.0, 30.min(item.range.1 - item.range.0));
+            assert_eq!(
+                item.range.1 - item.range.0,
+                30.min(item.range.1 - item.range.0)
+            );
             assert!(item.range.0 % 30 == 0, "window must start on a boundary");
         }
         // sampled window means should be near the exact window means
-        let exact = crate::window::exact_window_scores(
-            oracle.inner().all_scores(),
-            &prepared.windows(30),
-        );
+        let exact =
+            crate::window::exact_window_scores(oracle.inner().all_scores(), &prepared.windows(30));
         for item in &report.items {
             let wid = item.frame / 30;
             assert!(

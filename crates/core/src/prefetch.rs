@@ -33,7 +33,10 @@ impl Prefetcher {
         order: Vec<usize>,
         capacity: usize,
     ) -> Prefetcher {
-        assert!(capacity >= 1, "prefetch buffer must hold at least one frame");
+        assert!(
+            capacity >= 1,
+            "prefetch buffer must hold at least one frame"
+        );
         let (tx, rx) = bounded(capacity);
         let handle = std::thread::spawn(move || {
             for idx in order {
@@ -43,7 +46,10 @@ impl Prefetcher {
                 }
             }
         });
-        Prefetcher { rx, handle: Some(handle) }
+        Prefetcher {
+            rx,
+            handle: Some(handle),
+        }
     }
 
     /// Next prefetched frame, blocking until available; `None` when the
@@ -88,7 +94,9 @@ mod tests {
     use everest_video::store::InMemoryVideo;
 
     fn video(n: usize) -> Arc<InMemoryVideo> {
-        let frames = (0..n).map(|i| Frame::filled(4, 4, i as f32 / n as f32)).collect();
+        let frames = (0..n)
+            .map(|i| Frame::filled(4, 4, i as f32 / n as f32))
+            .collect();
         Arc::new(InMemoryVideo::new(frames, 30.0))
     }
 
@@ -112,7 +120,7 @@ mod tests {
         // Let the worker fill the buffer, then consume everything.
         std::thread::sleep(std::time::Duration::from_millis(20));
         let mut count = 0;
-        while let Some(_) = p.next() {
+        while p.next().is_some() {
             count += 1;
         }
         assert_eq!(count, 100);
@@ -136,6 +144,9 @@ mod tests {
         let mut prefetch = consumption.clone();
         prefetch.sort_unstable();
         let saving = prefetch_saving(&model, &prefetch, &consumption);
-        assert!(saving > 0.0, "sorted prefetch should save decode cost: {saving}");
+        assert!(
+            saving > 0.0,
+            "sorted prefetch should save decode cost: {saving}"
+        );
     }
 }

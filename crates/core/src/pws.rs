@@ -45,7 +45,10 @@ pub fn enumerate_worlds(rel: &UncertainRelation) -> Vec<World> {
         );
     }
 
-    let mut worlds = vec![World { buckets: vec![0; n], prob: 1.0 }];
+    let mut worlds = vec![World {
+        buckets: vec![0; n],
+        prob: 1.0,
+    }];
     for id in 0..n {
         match rel.certain_bucket(id) {
             Some(b) => {
@@ -95,11 +98,7 @@ pub fn is_topk_in_world(world: &World, answer: &[ItemId], k: usize) -> bool {
 
 /// Eq. 1: the confidence of `answer` as the probability mass of the worlds
 /// where it is Top-K.
-pub fn topk_confidence_bruteforce(
-    rel: &UncertainRelation,
-    answer: &[ItemId],
-    k: usize,
-) -> f64 {
+pub fn topk_confidence_bruteforce(rel: &UncertainRelation, answer: &[ItemId], k: usize) -> f64 {
     enumerate_worlds(rel)
         .iter()
         .filter(|w| is_topk_in_world(w, answer, k))

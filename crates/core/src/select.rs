@@ -51,7 +51,9 @@ pub fn expected_confidence(
     s_p: usize,
 ) -> f64 {
     debug_assert!(s_k <= s_p, "threshold above penultimate ({s_k} > {s_p})");
-    let d = rel.dist(id).expect("expected_confidence needs an uncertain item");
+    let d = rel
+        .dist(id)
+        .expect("expected_confidence needs an uncertain item");
     // Case s ≤ S_k: answer unchanged, f's uncertainty discounted.
     let mut e = d.cdf(s_k) * h.value_excluding(d, s_k);
     // Case S_k < s ≤ S_p: f becomes the new K-th; threshold moves to s.
@@ -128,7 +130,7 @@ impl CandidateSelector {
                     return true;
                 }
                 if self.iteration < 100 {
-                    self.iteration % self.resort_period == 0
+                    self.iteration.is_multiple_of(self.resort_period)
                 } else {
                     at != (s_k, s_p)
                 }
@@ -279,7 +281,10 @@ mod tests {
             manual += p * crate::topkprob::topk_prob(&h2, new_sk);
         }
         let fast = expected_confidence(&rel, &h, id, 2, 3);
-        assert!((fast - manual).abs() < 1e-12, "fast {fast} vs manual {manual}");
+        assert!(
+            (fast - manual).abs() < 1e-12,
+            "fast {fast} vs manual {manual}"
+        );
     }
 
     #[test]
@@ -298,9 +303,14 @@ mod tests {
         let mut sel = CandidateSelector::new(&rel, 10);
         let batch = sel.select_batch(&rel, &h, 2, 3, 3);
         assert_eq!(batch.len(), 3);
-        let es: Vec<f64> =
-            batch.iter().map(|&id| expected_confidence(&rel, &h, id, 2, 3)).collect();
-        assert!(es.windows(2).all(|w| w[0] >= w[1] - 1e-12), "not descending: {es:?}");
+        let es: Vec<f64> = batch
+            .iter()
+            .map(|&id| expected_confidence(&rel, &h, id, 2, 3))
+            .collect();
+        assert!(
+            es.windows(2).all(|w| w[0] >= w[1] - 1e-12),
+            "not descending: {es:?}"
+        );
     }
 
     #[test]

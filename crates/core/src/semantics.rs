@@ -82,7 +82,6 @@ pub fn u_kranks(rel: &UncertainRelation, k: usize) -> Vec<(ItemId, f64)> {
                 .into_iter()
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
-                .map(|(f, p)| (f, p))
                 .expect("non-empty")
         })
         .collect()
@@ -103,11 +102,7 @@ pub fn topk_membership(rel: &UncertainRelation, k: usize) -> Vec<f64> {
 
 /// PT-k: every item whose Top-K membership probability is at least `p`.
 /// May return fewer or more than K items — including the empty set.
-pub fn probabilistic_threshold_topk(
-    rel: &UncertainRelation,
-    k: usize,
-    p: f64,
-) -> Vec<ItemId> {
+pub fn probabilistic_threshold_topk(rel: &UncertainRelation, k: usize, p: f64) -> Vec<ItemId> {
     topk_membership(rel, k)
         .into_iter()
         .enumerate()
@@ -118,7 +113,11 @@ pub fn probabilistic_threshold_topk(
 
 /// `Pr(S_f = b)` for any item (certain items are point masses).
 fn pmf(rel: &UncertainRelation, id: ItemId, bucket: usize) -> f64 {
-    let lo = if bucket == 0 { 0.0 } else { rel.cdf(id, bucket - 1) };
+    let lo = if bucket == 0 {
+        0.0
+    } else {
+        rel.cdf(id, bucket - 1)
+    };
     rel.cdf(id, bucket) - lo
 }
 
@@ -173,7 +172,10 @@ pub fn expected_rank_topk(rel: &UncertainRelation, k: usize) -> Vec<(ItemId, f64
     let ranks = expected_ranks(rel);
     let mut ids: Vec<ItemId> = (0..rel.len()).collect();
     ids.sort_by(|&a, &b| {
-        ranks[a].partial_cmp(&ranks[b]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        ranks[a]
+            .partial_cmp(&ranks[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
     ids.into_iter().take(k).map(|f| (f, ranks[f])).collect()
 }
@@ -299,7 +301,10 @@ mod tests {
     fn membership_probabilities_sum_to_k() {
         let member = topk_membership(&table_1a(), 2);
         let total: f64 = member.iter().sum();
-        assert!((total - 2.0).abs() < 1e-9, "Σ membership must equal K, got {total}");
+        assert!(
+            (total - 2.0).abs() < 1e-9,
+            "Σ membership must equal K, got {total}"
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl SimClock {
 
     /// Charges `seconds` of simulated time to `component`.
     pub fn charge(&mut self, component: &'static str, seconds: f64) {
-        assert!(seconds >= 0.0 && seconds.is_finite(), "invalid charge {seconds}");
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "invalid charge {seconds}"
+        );
         *self.components.entry(component).or_insert(0.0) += seconds;
     }
 
@@ -89,7 +92,10 @@ impl SimClock {
     /// Owned `(name, seconds)` entries — the persistence-friendly form of
     /// [`Self::breakdown`] (see `everest-core::ingest`).
     pub fn entries(&self) -> Vec<(String, f64)> {
-        self.components.iter().map(|(&k, &v)| (k.to_string(), v)).collect()
+        self.components
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect()
     }
 
     /// Rebuilds a clock from persisted entries. Unknown component names

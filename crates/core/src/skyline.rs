@@ -102,7 +102,11 @@ impl VectorRelation {
             "skylines need 2 or 3 dimensions, got {}",
             max_bucket.len()
         );
-        VectorRelation { max_bucket, items: Vec::new(), num_certain: 0 }
+        VectorRelation {
+            max_bucket,
+            items: Vec::new(),
+            num_certain: 0,
+        }
     }
 
     pub fn dims(&self) -> usize {
@@ -165,7 +169,9 @@ impl VectorRelation {
     }
 
     pub fn is_certain(&self, id: ItemId) -> bool {
-        self.items[id].iter().all(|d| matches!(d, DimState::Certain(_)))
+        self.items[id]
+            .iter()
+            .all(|d| matches!(d, DimState::Certain(_)))
     }
 
     /// The exact vector of a certain item.
@@ -224,10 +230,18 @@ impl VectorRelation {
 /// because the difference detector is score-independent. An item is
 /// vector-certain only when every dimension was labelled during sampling.
 pub fn zip_relations(dims: &[&crate::xtuple::UncertainRelation]) -> VectorRelation {
-    assert!((2..=3).contains(&dims.len()), "skylines need 2 or 3 dimensions");
+    assert!(
+        (2..=3).contains(&dims.len()),
+        "skylines need 2 or 3 dimensions"
+    );
     let n = dims[0].len();
     for (j, r) in dims.iter().enumerate() {
-        assert_eq!(r.len(), n, "dimension {j} has {} items, expected {n}", r.len());
+        assert_eq!(
+            r.len(),
+            n,
+            "dimension {j} has {} items, expected {n}",
+            r.len()
+        );
     }
     let mut rel = VectorRelation::new(dims.iter().map(|r| r.max_bucket()).collect());
     for i in 0..n {
@@ -389,7 +403,11 @@ pub fn skyline_state(rel: &VectorRelation) -> SkylineState {
             (u, p)
         })
         .collect();
-    SkylineState { skyline, factors, confidence }
+    SkylineState {
+        skyline,
+        factors,
+        confidence,
+    }
 }
 
 /// The oracle that confirms exact score vectors (one deep model per
@@ -412,7 +430,11 @@ pub struct SkylineConfig {
 
 impl Default for SkylineConfig {
     fn default() -> Self {
-        SkylineConfig { thres: 0.9, batch_size: 8, max_cleanings: None }
+        SkylineConfig {
+            thres: 0.9,
+            batch_size: 8,
+            max_cleanings: None,
+        }
     }
 }
 
@@ -469,11 +491,18 @@ pub fn run_skyline_cleaner(
         // Clean the items with the smallest domination factors.
         let mut by_factor = state.factors;
         by_factor.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        let batch: Vec<ItemId> =
-            by_factor.iter().take(cfg.batch_size).map(|&(id, _)| id).collect();
+        let batch: Vec<ItemId> = by_factor
+            .iter()
+            .take(cfg.batch_size)
+            .map(|&(id, _)| id)
+            .collect();
         debug_assert!(!batch.is_empty(), "confidence < 1 requires uncertain items");
         let vectors = oracle.clean_batch(&batch);
-        assert_eq!(vectors.len(), batch.len(), "oracle must answer the whole batch");
+        assert_eq!(
+            vectors.len(),
+            batch.len(),
+            "oracle must answer the whole batch"
+        );
         for (id, v) in batch.iter().zip(&vectors) {
             rel.clean(*id, v);
             cleaned += 1;
@@ -533,7 +562,14 @@ pub fn pws_skyline_probability(rel: &VectorRelation, candidate: &[ItemId]) -> f6
     }
 
     let mut fixed = certain;
-    recurse(rel, &uncertain, &mut fixed, 1.0, &sorted_candidate, &mut total);
+    recurse(
+        rel,
+        &uncertain,
+        &mut fixed,
+        1.0,
+        &sorted_candidate,
+        &mut total,
+    );
     total
 }
 
@@ -549,7 +585,10 @@ mod tests {
     fn dominates_needs_a_strict_dimension() {
         assert!(dominates(&[2, 3], &[1, 3]));
         assert!(dominates(&[2, 3], &[2, 2]));
-        assert!(!dominates(&[2, 3], &[2, 3]), "equal vectors do not dominate");
+        assert!(
+            !dominates(&[2, 3], &[2, 3]),
+            "equal vectors do not dominate"
+        );
         assert!(!dominates(&[2, 3], &[3, 2]), "incomparable");
         assert!(!dominates(&[1, 1], &[2, 0]), "incomparable the other way");
     }
@@ -609,11 +648,7 @@ mod tests {
         // Point (1,1,1); u uniform on {0,1}³: dominated = all but (1,1,1)
         // → 7/8.
         let mut rel = VectorRelation::new(vec![1, 1, 1]);
-        let u = rel.push_uncertain(vec![
-            d(&[0.5, 0.5]),
-            d(&[0.5, 0.5]),
-            d(&[0.5, 0.5]),
-        ]);
+        let u = rel.push_uncertain(vec![d(&[0.5, 0.5]), d(&[0.5, 0.5]), d(&[0.5, 0.5])]);
         let p = prob_dominated(&rel, u, &[vec![1, 1, 1]]);
         assert!((p - 7.0 / 8.0).abs() < 1e-12, "got {p}");
     }
@@ -704,7 +739,14 @@ mod tests {
             truth.push(v);
             rel.push(dims);
         }
-        (rel, TableOracle { truth, calls: 0, frames: 0 })
+        (
+            rel,
+            TableOracle {
+                truth,
+                calls: 0,
+                frames: 0,
+            },
+        )
     }
 
     #[test]
@@ -714,7 +756,11 @@ mod tests {
         let out = run_skyline_cleaner(
             &mut rel,
             &mut oracle,
-            &SkylineConfig { thres: 0.95, batch_size: 4, max_cleanings: None },
+            &SkylineConfig {
+                thres: 0.95,
+                batch_size: 4,
+                max_cleanings: None,
+            },
         );
         assert!(out.converged);
         assert!(out.confidence >= 0.95);
@@ -727,13 +773,15 @@ mod tests {
         // were confirmed — and since confidence ≥ 0.95 over *this* relation
         // the true skyline of ALL items should normally be caught; verify
         // no unconfirmed item dominates any answer item under truth.
-        let all: Vec<(ItemId, Vec<u32>)> =
-            truth.iter().cloned().enumerate().collect();
+        let all: Vec<(ItemId, Vec<u32>)> = truth.iter().cloned().enumerate().collect();
         let mut true_sky = skyline_of(&all);
         true_sky.sort_unstable();
         let mut got = out.skyline.clone();
         got.sort_unstable();
-        assert_eq!(got, true_sky, "cleaned skyline should match ground truth here");
+        assert_eq!(
+            got, true_sky,
+            "cleaned skyline should match ground truth here"
+        );
         assert!(out.cleaned < 40, "should not have cleaned everything");
     }
 
@@ -745,8 +793,7 @@ mod tests {
         // Same data, but pre-confirm the true skyline members (as if they
         // were labelled during Phase-1 sampling).
         let (mut rel_warm, mut oracle_warm) = noisy_setup(30, 7);
-        let all: Vec<(ItemId, Vec<u32>)> =
-            oracle_warm.truth.iter().cloned().enumerate().collect();
+        let all: Vec<(ItemId, Vec<u32>)> = oracle_warm.truth.iter().cloned().enumerate().collect();
         for id in skyline_of(&all) {
             let v = oracle_warm.truth[id].clone();
             rel_warm.clean(id, &v);
@@ -767,7 +814,11 @@ mod tests {
         let out = run_skyline_cleaner(
             &mut rel,
             &mut oracle,
-            &SkylineConfig { thres: 0.99, batch_size: 1, max_cleanings: Some(2) },
+            &SkylineConfig {
+                thres: 0.99,
+                batch_size: 1,
+                max_cleanings: Some(2),
+            },
         );
         assert!(!out.converged);
         assert_eq!(out.cleaned, 2);

@@ -48,7 +48,10 @@ impl WindowInfo {
 pub fn tumbling_windows(n_frames: usize, len: usize) -> Vec<WindowInfo> {
     assert!(len >= 1, "window length must be positive");
     (0..n_frames.div_ceil(len))
-        .map(|i| WindowInfo { start: i * len, end: ((i + 1) * len).min(n_frames) })
+        .map(|i| WindowInfo {
+            start: i * len,
+            end: ((i + 1) * len).min(n_frames),
+        })
         .collect()
 }
 
@@ -70,18 +73,27 @@ pub fn tumbling_windows(n_frames: usize, len: usize) -> Vec<WindowInfo> {
 pub fn sliding_windows(n_frames: usize, len: usize, slide: usize) -> Vec<WindowInfo> {
     assert!(len >= 1, "window length must be positive");
     assert!(slide >= 1, "slide must be positive");
-    assert!(slide <= len, "slide {slide} > len {len} would leave uncovered gaps");
+    assert!(
+        slide <= len,
+        "slide {slide} > len {len} would leave uncovered gaps"
+    );
     if n_frames == 0 {
         return Vec::new();
     }
     if n_frames <= len {
-        return vec![WindowInfo { start: 0, end: n_frames }];
+        return vec![WindowInfo {
+            start: 0,
+            end: n_frames,
+        }];
     }
     let last = (n_frames - len).div_ceil(slide);
     (0..=last)
         .map(|i| {
             let start = i * slide;
-            WindowInfo { start, end: (start + len).min(n_frames) }
+            WindowInfo {
+                start,
+                end: (start + len).min(n_frames),
+            }
         })
         .collect()
 }
@@ -192,8 +204,7 @@ impl CleaningOracle for WindowCleaningOracle<'_> {
             .iter()
             .map(|&wid| {
                 let w = self.windows[wid];
-                let m = ((w.len() as f64 * self.sample_frac).ceil() as usize)
-                    .clamp(1, w.len());
+                let m = ((w.len() as f64 * self.sample_frac).ceil() as usize).clamp(1, w.len());
                 let mut frames: Vec<usize> = (w.start..w.end).collect();
                 frames.shuffle(&mut self.rng);
                 frames.truncate(m);
@@ -217,7 +228,13 @@ mod tests {
         let ws = tumbling_windows(100, 30);
         assert_eq!(ws.len(), 4);
         assert_eq!(ws[0], WindowInfo { start: 0, end: 30 });
-        assert_eq!(ws[3], WindowInfo { start: 90, end: 100 });
+        assert_eq!(
+            ws[3],
+            WindowInfo {
+                start: 90,
+                end: 100
+            }
+        );
         let total: usize = ws.iter().map(|w| w.len()).sum();
         assert_eq!(total, 100);
     }
@@ -240,7 +257,11 @@ mod tests {
         let rel = build_window_relation(&mixtures, &segs, &ws, 1.0, 10);
         assert_eq!(rel.len(), 1);
         let d = rel.dist(0).unwrap();
-        assert!((d.mean_bucket() - 4.0).abs() < 0.2, "mean {}", d.mean_bucket());
+        assert!(
+            (d.mean_bucket() - 4.0).abs() < 0.2,
+            "mean {}",
+            d.mean_bucket()
+        );
     }
 
     #[test]
@@ -248,12 +269,18 @@ mod tests {
         // Two segments of 5 frames each with means 2 and 6 → window mean 4.
         let rep_of: Vec<u32> = [vec![0u32; 5], vec![1u32; 5]].concat();
         let segs = Segments::from_parts(vec![2, 7], rep_of);
-        let mixtures =
-            vec![GaussianMixture::single(2.0, 0.5), GaussianMixture::single(6.0, 0.5)];
+        let mixtures = vec![
+            GaussianMixture::single(2.0, 0.5),
+            GaussianMixture::single(6.0, 0.5),
+        ];
         let ws = tumbling_windows(10, 10);
         let rel = build_window_relation(&mixtures, &segs, &ws, 1.0, 10);
         let d = rel.dist(0).unwrap();
-        assert!((d.mean_bucket() - 4.0).abs() < 0.2, "mean {}", d.mean_bucket());
+        assert!(
+            (d.mean_bucket() - 4.0).abs() < 0.2,
+            "mean {}",
+            d.mean_bucket()
+        );
     }
 
     #[test]
@@ -307,7 +334,11 @@ mod tests {
     #[test]
     fn sliding_equals_tumbling_when_slide_is_len() {
         for (n, len) in [(100, 30), (90, 30), (1, 1), (7, 10)] {
-            assert_eq!(sliding_windows(n, len, len), tumbling_windows(n, len), "n={n} len={len}");
+            assert_eq!(
+                sliding_windows(n, len, len),
+                tumbling_windows(n, len),
+                "n={n} len={len}"
+            );
         }
     }
 
@@ -325,7 +356,10 @@ mod tests {
         );
         // every frame is covered by at least one window
         for f in 0..10 {
-            assert!(ws.iter().any(|w| w.start <= f && f < w.end), "frame {f} uncovered");
+            assert!(
+                ws.iter().any(|w| w.start <= f && f < w.end),
+                "frame {f} uncovered"
+            );
         }
         // no stub window that is a subset of the previous one
         for pair in ws.windows(2) {
@@ -336,7 +370,10 @@ mod tests {
 
     #[test]
     fn sliding_short_video_yields_single_window() {
-        assert_eq!(sliding_windows(4, 10, 3), vec![WindowInfo { start: 0, end: 4 }]);
+        assert_eq!(
+            sliding_windows(4, 10, 3),
+            vec![WindowInfo { start: 0, end: 4 }]
+        );
         assert!(sliding_windows(0, 10, 3).is_empty());
     }
 
@@ -352,7 +389,10 @@ mod tests {
         // ranked best-first: the 2nd overlaps the 1st and is dropped; the
         // 3rd is disjoint and kept; the 4th overlaps the 3rd and is dropped.
         let ranked = [w(10, 20), w(15, 25), w(30, 40), w(39, 49), w(0, 10)];
-        assert_eq!(suppress_overlaps(&ranked), vec![w(10, 20), w(30, 40), w(0, 10)]);
+        assert_eq!(
+            suppress_overlaps(&ranked),
+            vec![w(10, 20), w(30, 40), w(0, 10)]
+        );
         assert!(suppress_overlaps(&[]).is_empty());
     }
 
@@ -360,6 +400,9 @@ mod tests {
     fn suppress_overlaps_touching_windows_are_disjoint() {
         let w = |s: usize, e: usize| WindowInfo { start: s, end: e };
         // [0,10) and [10,20) share no frame: both kept.
-        assert_eq!(suppress_overlaps(&[w(0, 10), w(10, 20)]), vec![w(0, 10), w(10, 20)]);
+        assert_eq!(
+            suppress_overlaps(&[w(0, 10), w(10, 20)]),
+            vec![w(0, 10), w(10, 20)]
+        );
     }
 }

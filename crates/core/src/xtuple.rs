@@ -38,7 +38,12 @@ pub struct UncertainRelation {
 impl UncertainRelation {
     pub fn new(step: f64, max_bucket: usize) -> Self {
         assert!(step > 0.0, "step must be positive");
-        UncertainRelation { step, max_bucket, items: Vec::new(), num_certain: 0 }
+        UncertainRelation {
+            step,
+            max_bucket,
+            items: Vec::new(),
+            num_certain: 0,
+        }
     }
 
     pub fn step(&self) -> f64 {
@@ -136,12 +141,16 @@ impl UncertainRelation {
 
     /// Ids of all certain items.
     pub fn certain_ids(&self) -> Vec<ItemId> {
-        (0..self.items.len()).filter(|&i| self.is_certain(i)).collect()
+        (0..self.items.len())
+            .filter(|&i| self.is_certain(i))
+            .collect()
     }
 
     /// Ids of all uncertain items.
     pub fn uncertain_ids(&self) -> Vec<ItemId> {
-        (0..self.items.len()).filter(|&i| !self.is_certain(i)).collect()
+        (0..self.items.len())
+            .filter(|&i| !self.is_certain(i))
+            .collect()
     }
 
     /// Converts a bucket index to score units.
@@ -162,6 +171,9 @@ impl UncertainRelation {
         }
     }
 }
+
+#[cfg(test)]
+pub(crate) use tests::table_1a;
 
 #[cfg(test)]
 mod tests {
@@ -244,6 +256,3 @@ mod tests {
         assert_eq!(r.mean_bucket(1), 2.0);
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::table_1a;

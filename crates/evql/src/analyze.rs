@@ -8,8 +8,8 @@
 
 use crate::ast::{ScoreCall, SelectStmt, Target};
 use crate::catalog::{
-    all_class_names, class_by_name, compatible_score, source_by_name, source_names,
-    ScoreFn, SourceEntry,
+    all_class_names, class_by_name, compatible_score, source_by_name, source_names, ScoreFn,
+    SourceEntry,
 };
 use crate::error::{suggest, ErrorKind, EvqlError};
 use crate::plan::{Engine, PlanTarget, QueryPlan};
@@ -48,8 +48,7 @@ impl Default for SessionSettings {
 }
 
 /// Names `SET` accepts (used for suggestions and `SHOW SETTINGS`).
-pub const SETTING_NAMES: [&str; 6] =
-    ["scale", "confidence", "seed", "sample", "batch", "resort"];
+pub const SETTING_NAMES: [&str; 6] = ["scale", "confidence", "seed", "sample", "batch", "resort"];
 
 impl SessionSettings {
     /// Applies `SET name = value`; returns a description of the change.
@@ -61,7 +60,10 @@ impl SessionSettings {
     ) -> Result<String, EvqlError> {
         let err = |detail: String| {
             Err(EvqlError::new(
-                ErrorKind::OutOfRange { what: format!("SET {name}"), detail },
+                ErrorKind::OutOfRange {
+                    what: format!("SET {name}"),
+                    detail,
+                },
                 value.span,
             ))
         };
@@ -148,8 +150,10 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
     let engine = match &stmt.engine {
         None => Engine::Everest,
         Some((name, span)) => Engine::by_name(name).ok_or_else(|| {
-            let all: Vec<&str> =
-                Engine::all().iter().flat_map(|e| e.aliases().iter().copied()).collect();
+            let all: Vec<&str> = Engine::all()
+                .iter()
+                .flat_map(|e| e.aliases().iter().copied())
+                .collect();
             EvqlError::new(
                 ErrorKind::Unknown {
                     what: "engine",
@@ -202,7 +206,10 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
                     .ok_or_else(|| bad("expected a positive quantization step"))?;
             }
             "seed" => {
-                seed = opt.value.as_u64().ok_or_else(|| bad("expected an integer seed"))?;
+                seed = opt
+                    .value
+                    .as_u64()
+                    .ok_or_else(|| bad("expected an integer seed"))?;
             }
             "batch" => {
                 batch = opt
@@ -237,7 +244,11 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
     let n_frames = source.scaled_frames(session.scale);
     let target = match stmt.target {
         Target::Frames => PlanTarget::Frames,
-        Target::Windows { len, len_span, slide } => {
+        Target::Windows {
+            len,
+            len_span,
+            slide,
+        } => {
             if len == 0 {
                 return Err(EvqlError::new(
                     ErrorKind::OutOfRange {
@@ -266,9 +277,7 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
                         return Err(EvqlError::new(
                             ErrorKind::OutOfRange {
                                 what: "slide".into(),
-                                detail: format!(
-                                    "must be between 1 and the window length ({len})"
-                                ),
+                                detail: format!("must be between 1 and the window length ({len})"),
                             },
                             s_span,
                         ));
@@ -297,7 +306,10 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
     // -- K --
     if stmt.k == 0 {
         return Err(EvqlError::new(
-            ErrorKind::OutOfRange { what: "K".into(), detail: "must be at least 1".into() },
+            ErrorKind::OutOfRange {
+                what: "K".into(),
+                detail: "must be at least 1".into(),
+            },
             stmt.k_span,
         ));
     }
@@ -383,10 +395,7 @@ pub fn analyze_skyline(
             return Err(EvqlError::new(
                 ErrorKind::OutOfRange {
                     what: "SKYLINE OF".into(),
-                    detail: format!(
-                        "needs 2 or 3 scoring dimensions, got {}",
-                        stmt.scores.len()
-                    ),
+                    detail: format!("needs 2 or 3 scoring dimensions, got {}", stmt.scores.len()),
                 },
                 stmt.skyline_span,
             ));
@@ -396,10 +405,7 @@ pub fn analyze_skyline(
             let s = resolve_score(call, &source)?;
             if out.contains(&s) {
                 return Err(EvqlError::new(
-                    ErrorKind::Incompatible(format!(
-                        "duplicate skyline dimension {}",
-                        s.display()
-                    )),
+                    ErrorKind::Incompatible(format!("duplicate skyline dimension {}", s.display())),
                     call.span,
                 ));
             }
@@ -431,7 +437,10 @@ pub fn analyze_skyline(
                     .ok_or_else(|| bad("expected a probability in (0, 1)"))?;
             }
             "seed" => {
-                seed = opt.value.as_u64().ok_or_else(|| bad("expected an integer seed"))?;
+                seed = opt
+                    .value
+                    .as_u64()
+                    .ok_or_else(|| bad("expected an integer seed"))?;
             }
             "batch" => {
                 batch = opt
@@ -473,10 +482,7 @@ fn resolve_score(call: &ScoreCall, source: &SourceEntry) -> Result<ScoreFn, Evql
                 return Err(EvqlError::new(
                     ErrorKind::OutOfRange {
                         what: "count(...)".into(),
-                        detail: format!(
-                            "takes exactly one object class, got {}",
-                            call.args.len()
-                        ),
+                        detail: format!("takes exactly one object class, got {}", call.args.len()),
                     },
                     call.span,
                 ));
@@ -552,7 +558,11 @@ mod tests {
     #[test]
     fn defaults_fill_in() {
         let p = plan_of("SELECT TOP 10 FRAMES FROM Archie").unwrap();
-        assert_eq!(p.score, ScoreFn::Count(ObjectClass::Car), "dataset default score");
+        assert_eq!(
+            p.score,
+            ScoreFn::Count(ObjectClass::Car),
+            "dataset default score"
+        );
         assert_eq!(p.engine, Engine::Everest);
         assert_eq!(p.thres, 0.9);
         assert_eq!(p.quant_step, 1.0);
@@ -574,34 +584,49 @@ mod tests {
     #[test]
     fn unknown_dataset_suggests() {
         let e = plan_of("SELECT TOP 10 FRAMES FROM Grand-Chanel").unwrap_err();
-        assert!(e.message().contains("did you mean `Grand-Canal`"), "{}", e.message());
+        assert!(
+            e.message().contains("did you mean `Grand-Canal`"),
+            "{}",
+            e.message()
+        );
     }
 
     #[test]
     fn unknown_option_suggests() {
         let e = plan_of("SELECT TOP 10 FRAMES FROM Archie WITH CONFIDANCE 0.9").unwrap_err();
-        assert!(e.message().contains("did you mean `confidence`"), "{}", e.message());
+        assert!(
+            e.message().contains("did you mean `confidence`"),
+            "{}",
+            e.message()
+        );
     }
 
     #[test]
     fn unknown_engine_suggests() {
         let e = plan_of("SELECT TOP 10 FRAMES FROM Archie USING noscop").unwrap_err();
-        assert!(e.message().contains("did you mean `noscope`"), "{}", e.message());
+        assert!(
+            e.message().contains("did you mean `noscope`"),
+            "{}",
+            e.message()
+        );
     }
 
     #[test]
     fn wrong_class_for_dataset_is_incompatible() {
         let e = plan_of("SELECT TOP 10 FRAMES FROM Grand-Canal SCORE count(car)").unwrap_err();
-        assert!(e.message().contains("annotated for `boat`"), "{}", e.message());
+        assert!(
+            e.message().contains("annotated for `boat`"),
+            "{}",
+            e.message()
+        );
     }
 
     #[test]
     fn score_arity_is_checked() {
         let e = plan_of("SELECT TOP 10 FRAMES FROM Archie SCORE count()").unwrap_err();
         assert!(e.message().contains("exactly one"), "{}", e.message());
-        let e =
-            plan_of("SELECT TOP 10 FRAMES FROM Dashcam-California SCORE tailgating(5)")
-                .unwrap_err();
+        let e = plan_of("SELECT TOP 10 FRAMES FROM Dashcam-California SCORE tailgating(5)")
+            .unwrap_err();
         assert!(e.message().contains("no arguments"), "{}", e.message());
     }
 
@@ -630,7 +655,11 @@ mod tests {
     #[test]
     fn slide_must_not_exceed_length() {
         let e = plan_of("SELECT TOP 2 WINDOWS OF 30 FRAMES SLIDE 31 FROM Archie").unwrap_err();
-        assert!(e.message().contains("between 1 and the window length"), "{}", e.message());
+        assert!(
+            e.message().contains("between 1 and the window length"),
+            "{}",
+            e.message()
+        );
         let p = plan_of("SELECT TOP 2 WINDOWS OF 30 FRAMES SLIDE 30 FROM Archie").unwrap();
         match p.target {
             PlanTarget::Windows { len, slide, .. } => {
@@ -644,7 +673,11 @@ mod tests {
     fn default_slide_is_tumbling() {
         let p = plan_of("SELECT TOP 2 WINDOWS OF 60 FRAMES FROM Archie").unwrap();
         match p.target {
-            PlanTarget::Windows { len, slide, sample_frac } => {
+            PlanTarget::Windows {
+                len,
+                slide,
+                sample_frac,
+            } => {
                 assert_eq!((len, slide), (60, 60));
                 assert_eq!(sample_frac, 0.1, "session default sampling");
             }
@@ -655,7 +688,11 @@ mod tests {
     #[test]
     fn windows_need_a_capable_engine() {
         let e = plan_of("SELECT TOP 2 WINDOWS OF 30 FRAMES FROM Archie USING hog").unwrap_err();
-        assert!(e.message().contains("only supports frame queries"), "{}", e.message());
+        assert!(
+            e.message().contains("only supports frame queries"),
+            "{}",
+            e.message()
+        );
         assert!(plan_of("SELECT TOP 2 WINDOWS OF 30 FRAMES FROM Archie USING scan").is_ok());
     }
 
@@ -663,7 +700,10 @@ mod tests {
     fn continuous_scores_pick_up_udf_step() {
         let p = plan_of("SELECT TOP 5 FRAMES FROM Dashcam-California").unwrap();
         assert_eq!(p.score, ScoreFn::Tailgating);
-        assert_eq!(p.quant_step, everest_models::depth::TAILGATING_QUANTIZATION_STEP);
+        assert_eq!(
+            p.quant_step,
+            everest_models::depth::TAILGATING_QUANTIZATION_STEP
+        );
         let p = plan_of("SELECT TOP 5 FRAMES FROM Dashcam-California WITH STEP 0.1").unwrap();
         assert_eq!(p.quant_step, 0.1);
     }
@@ -684,18 +724,39 @@ mod tests {
             value: v,
             span: Span::new(0, 0),
         };
-        s.apply("scale", &lit(crate::ast::LiteralValue::Int(2)), Span::new(0, 0)).unwrap();
+        s.apply(
+            "scale",
+            &lit(crate::ast::LiteralValue::Int(2)),
+            Span::new(0, 0),
+        )
+        .unwrap();
         assert_eq!(s.scale, 2);
-        s.apply("confidence", &lit(crate::ast::LiteralValue::Float(0.99)), Span::new(0, 0))
-            .unwrap();
+        s.apply(
+            "confidence",
+            &lit(crate::ast::LiteralValue::Float(0.99)),
+            Span::new(0, 0),
+        )
+        .unwrap();
         assert_eq!(s.confidence, 0.99);
         assert!(s
-            .apply("confidence", &lit(crate::ast::LiteralValue::Float(2.0)), Span::new(0, 0))
+            .apply(
+                "confidence",
+                &lit(crate::ast::LiteralValue::Float(2.0)),
+                Span::new(0, 0)
+            )
             .is_err());
         let err = s
-            .apply("scal", &lit(crate::ast::LiteralValue::Int(2)), Span::new(0, 0))
+            .apply(
+                "scal",
+                &lit(crate::ast::LiteralValue::Int(2)),
+                Span::new(0, 0),
+            )
             .unwrap_err();
-        assert!(err.message().contains("did you mean `scale`"), "{}", err.message());
+        assert!(
+            err.message().contains("did you mean `scale`"),
+            "{}",
+            err.message()
+        );
     }
 
     use crate::catalog::source_by_name;
@@ -724,15 +785,17 @@ mod tests {
     #[test]
     fn skyline_has_no_default_on_single_score_datasets() {
         let e = skyline_plan_of("SELECT SKYLINE FROM Vlog").unwrap_err();
-        assert!(e.message().contains("no default skyline dimensions"), "{}", e.message());
+        assert!(
+            e.message().contains("no default skyline dimensions"),
+            "{}",
+            e.message()
+        );
     }
 
     #[test]
     fn skyline_rejects_duplicate_and_wrong_arity_dimensions() {
-        let e = skyline_plan_of(
-            "SELECT SKYLINE OF count(car), count(car) FROM Archie",
-        )
-        .unwrap_err();
+        let e =
+            skyline_plan_of("SELECT SKYLINE OF count(car), count(car) FROM Archie").unwrap_err();
         assert!(e.message().contains("duplicate"), "{}", e.message());
         let e = skyline_plan_of("SELECT SKYLINE OF count(car) FROM Archie").unwrap_err();
         assert!(e.message().contains("2 or 3"), "{}", e.message());
@@ -740,28 +803,31 @@ mod tests {
 
     #[test]
     fn skyline_dimensions_must_fit_the_dataset() {
-        let e = skyline_plan_of(
-            "SELECT SKYLINE OF count(car), tailgating() FROM Archie",
-        )
-        .unwrap_err();
+        let e =
+            skyline_plan_of("SELECT SKYLINE OF count(car), tailgating() FROM Archie").unwrap_err();
         assert!(e.message().contains("cannot run"), "{}", e.message());
         // coverage on a counting dataset with explicit matching count: ok
-        assert!(skyline_plan_of(
-            "SELECT SKYLINE OF count(boat), coverage() FROM Grand-Canal"
-        )
-        .is_ok());
+        assert!(
+            skyline_plan_of("SELECT SKYLINE OF count(boat), coverage() FROM Grand-Canal").is_ok()
+        );
     }
 
     #[test]
     fn skyline_option_validation_and_suggestions() {
-        let p = skyline_plan_of(
-            "SELECT SKYLINE FROM Archie WITH CONFIDENCE 0.8, SEED 5, BATCH 2",
-        )
-        .unwrap();
+        let p = skyline_plan_of("SELECT SKYLINE FROM Archie WITH CONFIDENCE 0.8, SEED 5, BATCH 2")
+            .unwrap();
         assert_eq!((p.thres, p.seed, p.batch), (0.8, 5, 2));
         let e = skyline_plan_of("SELECT SKYLINE FROM Archie WITH SAMPLE 0.1").unwrap_err();
-        assert!(e.message().contains("unknown skyline option"), "{}", e.message());
+        assert!(
+            e.message().contains("unknown skyline option"),
+            "{}",
+            e.message()
+        );
         let e = skyline_plan_of("SELECT SKYLINE FROM Archie WITH CONFIDENEC 0.8").unwrap_err();
-        assert!(e.message().contains("did you mean `confidence`"), "{}", e.message());
+        assert!(
+            e.message().contains("did you mean `confidence`"),
+            "{}",
+            e.message()
+        );
     }
 }

@@ -34,9 +34,16 @@ pub enum Statement {
     /// `EXPLAIN SELECT SKYLINE …`.
     ExplainSkyline(SkylineStmt),
     /// `SHOW DATASETS | SCORES | ENGINES | SETTINGS`.
-    Show { what: String, span: Span },
+    Show {
+        what: String,
+        span: Span,
+    },
     /// `SET name = value` — session option.
-    Set { name: String, value: Literal, span: Span },
+    Set {
+        name: String,
+        value: Literal,
+        span: Span,
+    },
 }
 
 /// A `SELECT SKYLINE …` query: Pareto-optimal frames across 2–3 scores.
@@ -54,7 +61,10 @@ pub struct SkylineStmt {
 impl SkylineStmt {
     /// Looks an option up by case-insensitive name (last one wins).
     pub fn option(&self, name: &str) -> Option<&OptionClause> {
-        self.options.iter().rev().find(|o| o.name.eq_ignore_ascii_case(name))
+        self.options
+            .iter()
+            .rev()
+            .find(|o| o.name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -82,7 +92,11 @@ pub struct SelectStmt {
 pub enum Target {
     Frames,
     /// Tumbling when `slide` is `None` (slide = len), else hopping/sliding.
-    Windows { len: u64, len_span: Span, slide: Option<(u64, Span)> },
+    Windows {
+        len: u64,
+        len_span: Span,
+        slide: Option<(u64, Span)>,
+    },
 }
 
 /// A scoring-function call, e.g. `count(car)` or `tailgating()`.
@@ -158,7 +172,10 @@ impl SelectStmt {
     /// Looks an option up by case-insensitive name (last one wins, like SQL
     /// session settings).
     pub fn option(&self, name: &str) -> Option<&OptionClause> {
-        self.options.iter().rev().find(|o| o.name.eq_ignore_ascii_case(name))
+        self.options
+            .iter()
+            .rev()
+            .find(|o| o.name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -167,7 +184,10 @@ mod tests {
     use super::*;
 
     fn lit(v: LiteralValue) -> Literal {
-        Literal { value: v, span: Span::new(0, 0) }
+        Literal {
+            value: v,
+            span: Span::new(0, 0),
+        }
     }
 
     #[test]
@@ -176,7 +196,11 @@ mod tests {
         assert_eq!(lit(LiteralValue::Float(0.9)).as_f64(), Some(0.9));
         assert_eq!(lit(LiteralValue::Word("x".into())).as_f64(), None);
         assert_eq!(lit(LiteralValue::Int(5)).as_u64(), Some(5));
-        assert_eq!(lit(LiteralValue::Float(5.0)).as_u64(), None, "floats never coerce to int");
+        assert_eq!(
+            lit(LiteralValue::Float(5.0)).as_u64(),
+            None,
+            "floats never coerce to int"
+        );
         assert_eq!(lit(LiteralValue::Word("car".into())).as_word(), Some("car"));
     }
 

@@ -129,7 +129,9 @@ impl SourceEntry {
     /// Frame count after applying a scale divisor (floored at a size that
     /// still trains a CMDN).
     pub fn scaled_frames(&self, divisor: usize) -> usize {
-        (self.n_frames_full / divisor.max(1)).max(2_000).min(self.n_frames_full)
+        (self.n_frames_full / divisor.max(1))
+            .max(2_000)
+            .min(self.n_frames_full)
     }
 
     /// Builds the video and its oracle for the requested score.
@@ -146,7 +148,11 @@ impl SourceEntry {
                 spec.arrival.n_frames = n;
                 let video = spec.build(seed);
                 let oracle = counting_oracle(&video);
-                BuiltSource { video: Box::new(video), oracle, fps: self.fps }
+                BuiltSource {
+                    video: Box::new(video),
+                    oracle,
+                    fps: self.fps,
+                }
             }
             (SourceKind::Counting(spec), ScoreFn::Coverage) => {
                 let mut spec = spec.clone();
@@ -154,25 +160,51 @@ impl SourceEntry {
                 spec.arrival.n_frames = n;
                 let video = spec.build(seed);
                 let oracle = everest_models::coverage_oracle(&video);
-                BuiltSource { video: Box::new(video), oracle, fps: self.fps }
+                BuiltSource {
+                    video: Box::new(video),
+                    oracle,
+                    fps: self.fps,
+                }
             }
             (SourceKind::VisualRoad(cars), ScoreFn::Count(ObjectClass::Car)) => {
-                let cfg = VisualRoadConfig { total_cars: *cars, n_frames: n, ..Default::default() };
+                let cfg = VisualRoadConfig {
+                    total_cars: *cars,
+                    n_frames: n,
+                    ..Default::default()
+                };
                 let video = VisualRoadVideo::new(cfg, seed);
                 let oracle = everest_models::counting::counting_oracle_visualroad(&video);
-                BuiltSource { video: Box::new(video), oracle, fps: self.fps }
+                BuiltSource {
+                    video: Box::new(video),
+                    oracle,
+                    fps: self.fps,
+                }
             }
             (SourceKind::Dashcam(cfg, default_seed), ScoreFn::Tailgating) => {
-                let cfg = DashcamConfig { n_frames: n, ..cfg.clone() };
+                let cfg = DashcamConfig {
+                    n_frames: n,
+                    ..cfg.clone()
+                };
                 let video = DashcamVideo::new(cfg, if seed == 0 { *default_seed } else { seed });
                 let oracle = depth_oracle(&video);
-                BuiltSource { video: Box::new(video), oracle, fps: self.fps }
+                BuiltSource {
+                    video: Box::new(video),
+                    oracle,
+                    fps: self.fps,
+                }
             }
             (SourceKind::Vlog(cfg, default_seed), ScoreFn::Sentiment) => {
-                let cfg = SentimentConfig { n_frames: n, ..cfg.clone() };
+                let cfg = SentimentConfig {
+                    n_frames: n,
+                    ..cfg.clone()
+                };
                 let video = SentimentVideo::new(cfg, if seed == 0 { *default_seed } else { seed });
                 let oracle = sentiment_oracle(&video);
-                BuiltSource { video: Box::new(video), oracle, fps: self.fps }
+                BuiltSource {
+                    video: Box::new(video),
+                    oracle,
+                    fps: self.fps,
+                }
             }
             (kind, score) => panic!(
                 "source kind {kind:?} cannot serve score {score:?} (analysis must reject this)"
@@ -269,7 +301,9 @@ pub fn catalog() -> Vec<SourceEntry> {
 
 /// Case-insensitive catalog lookup.
 pub fn source_by_name(name: &str) -> Option<SourceEntry> {
-    catalog().into_iter().find(|e| e.name.eq_ignore_ascii_case(name))
+    catalog()
+        .into_iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
 }
 
 /// All source names (for `SHOW DATASETS` and suggestions).
@@ -389,11 +423,14 @@ mod tests {
             ScoreFn::Tailgating.default_step(),
             everest_models::depth::TAILGATING_QUANTIZATION_STEP
         );
-        assert_eq!(ScoreFn::Sentiment.default_step(), HAPPINESS_QUANTIZATION_STEP);
+        assert_eq!(
+            ScoreFn::Sentiment.default_step(),
+            HAPPINESS_QUANTIZATION_STEP
+        );
     }
 
     #[test]
     fn cost_constants_are_positive() {
-        assert!(SENTIMENT_COST_PER_FRAME > 0.0);
+        const { assert!(SENTIMENT_COST_PER_FRAME > 0.0) }
     }
 }

@@ -29,7 +29,11 @@ pub enum ErrorKind {
     /// Parser: trailing tokens after a complete statement.
     TrailingInput,
     /// Analysis: a name (dataset, score fn, engine, option) did not resolve.
-    Unknown { what: &'static str, name: String, suggestion: Option<String> },
+    Unknown {
+        what: &'static str,
+        name: String,
+        suggestion: Option<String>,
+    },
     /// Analysis: a value is outside its legal range.
     OutOfRange { what: String, detail: String },
     /// Analysis: query parts that do not fit together
@@ -62,7 +66,11 @@ impl EvqlError {
                 format!("expected {wanted}, but the query ended")
             }
             ErrorKind::TrailingInput => "unexpected input after the end of the statement".into(),
-            ErrorKind::Unknown { what, name, suggestion } => match suggestion {
+            ErrorKind::Unknown {
+                what,
+                name,
+                suggestion,
+            } => match suggestion {
                 Some(s) => format!("unknown {what} `{name}` (did you mean `{s}`?)"),
                 None => format!("unknown {what} `{name}`"),
             },
@@ -145,7 +153,10 @@ mod tests {
     fn suggest_picks_nearest_within_budget() {
         let cands = ["archie", "grand-canal", "taipei-bus"];
         assert_eq!(suggest("archi", cands).as_deref(), Some("archie"));
-        assert_eq!(suggest("grand-chanel", cands).as_deref(), Some("grand-canal"));
+        assert_eq!(
+            suggest("grand-chanel", cands).as_deref(),
+            Some("grand-canal")
+        );
         assert_eq!(suggest("zzzzzz", cands), None, "too far from everything");
     }
 
@@ -153,7 +164,11 @@ mod tests {
     fn render_points_at_the_span() {
         let src = "SELECT TOP 50 FRAMES FROM nowhere";
         let err = EvqlError::new(
-            ErrorKind::Unknown { what: "dataset", name: "nowhere".into(), suggestion: None },
+            ErrorKind::Unknown {
+                what: "dataset",
+                name: "nowhere".into(),
+                suggestion: None,
+            },
             Span::new(26, 33),
         );
         let rendered = err.render(src);
@@ -168,7 +183,9 @@ mod tests {
     fn render_handles_end_of_input() {
         let src = "SELECT TOP 5";
         let err = EvqlError::new(
-            ErrorKind::UnexpectedEnd { wanted: "`FRAMES` or `WINDOWS`".into() },
+            ErrorKind::UnexpectedEnd {
+                wanted: "`FRAMES` or `WINDOWS`".into(),
+            },
             Span::point(src.len()),
         );
         let rendered = err.render(src);
@@ -180,11 +197,18 @@ mod tests {
         let src = "SELECT TOP 5 FRAMES\nFROM mars\nWITH CONFIDENCE 0.9";
         let from = src.find("mars").unwrap();
         let err = EvqlError::new(
-            ErrorKind::Unknown { what: "dataset", name: "mars".into(), suggestion: None },
+            ErrorKind::Unknown {
+                what: "dataset",
+                name: "mars".into(),
+                suggestion: None,
+            },
             Span::new(from, from + 4),
         );
         let rendered = err.render(src);
         assert!(rendered.contains("| FROM mars"), "{rendered}");
-        assert!(!rendered.contains("SELECT"), "only the offending line: {rendered}");
+        assert!(
+            !rendered.contains("SELECT"),
+            "only the offending line: {rendered}"
+        );
     }
 }

@@ -16,8 +16,7 @@ use crate::error::{ErrorKind, EvqlError};
 use crate::parser::parse;
 use crate::plan::{Engine, PlanTarget, QueryPlan};
 use everest_core::baselines::{
-    cheap_scan, cmdn_only, scan_and_test, select_and_topk_calibrated, topk_indices,
-    BaselineResult,
+    cheap_scan, cmdn_only, scan_and_test, select_and_topk_calibrated, topk_indices, BaselineResult,
 };
 use everest_core::cleaner::CleanerConfig;
 use everest_core::metrics::{evaluate_topk, GroundTruth, ResultQuality};
@@ -144,11 +143,17 @@ impl Default for Session {
 
 impl Session {
     pub fn new() -> Self {
-        Session { settings: SessionSettings::default(), cache: HashMap::new() }
+        Session {
+            settings: SessionSettings::default(),
+            cache: HashMap::new(),
+        }
     }
 
     pub fn with_settings(settings: SessionSettings) -> Self {
-        Session { settings, cache: HashMap::new() }
+        Session {
+            settings,
+            cache: HashMap::new(),
+        }
     }
 
     /// Parses, analyzes and executes one statement.
@@ -171,9 +176,10 @@ impl Session {
                 Ok(Output::Message(plan.explain()))
             }
             Statement::Show { what, span } => self.show(&what, span).map(Output::Message),
-            Statement::Set { name, value, span } => {
-                self.settings.apply(&name, &value, span).map(Output::Message)
-            }
+            Statement::Set { name, value, span } => self
+                .settings
+                .apply(&name, &value, span)
+                .map(Output::Message),
         }
     }
 
@@ -259,8 +265,10 @@ impl Session {
         let started = Instant::now();
         // Phase 1 (CMDN training + D0) is only charged to engines that use
         // a proxy model; pure scans get the oracle directly.
-        let needs_phase1 =
-            matches!(plan.engine, Engine::Everest | Engine::CmdnOnly | Engine::SelectTopk);
+        let needs_phase1 = matches!(
+            plan.engine,
+            Engine::Everest | Engine::CmdnOnly | Engine::SelectTopk
+        );
         let (entry, phase1_cached) = if needs_phase1 {
             let (e, cached) = self.prepared(&plan);
             (Some(e), cached)
@@ -271,16 +279,17 @@ impl Session {
         let oracle: &ExactScoreOracle = match &entry {
             Some(e) => &e.oracle,
             None => {
-                standalone_oracle =
-                    plan.source.build(plan.score, plan.scale_divisor, plan.seed).oracle;
+                standalone_oracle = plan
+                    .source
+                    .build(plan.score, plan.scale_divisor, plan.seed)
+                    .oracle;
                 &standalone_oracle
             }
         };
         let fps = plan.source.fps;
         let n = plan.n_frames;
         let decode = DecodeCostModel::default();
-        let scan_seconds =
-            n as f64 * oracle.cost_per_frame() + decode.sequential_scan_cost(n);
+        let scan_seconds = n as f64 * oracle.cost_per_frame() + decode.sequential_scan_cost(n);
 
         let cleaner = CleanerConfig {
             k: plan.k,
@@ -293,8 +302,11 @@ impl Session {
         let (rows, confidence, converged, iterations, cleaned, sim_seconds, quality) =
             match (plan.engine, plan.target) {
                 (Engine::Everest, PlanTarget::Frames) => {
-                    let report =
-                        entry.as_ref().expect("phase-1 engine").prepared.query_topk(oracle, plan.k, plan.thres, &cleaner);
+                    let report = entry
+                        .as_ref()
+                        .expect("phase-1 engine")
+                        .prepared
+                        .query_topk(oracle, plan.k, plan.thres, &cleaner);
                     let quality = frame_quality(oracle, &report, plan.k);
                     (
                         report_rows(&report, fps),
@@ -306,15 +318,41 @@ impl Session {
                         quality,
                     )
                 }
-                (Engine::Everest, PlanTarget::Windows { len, slide, sample_frac }) => {
+                (
+                    Engine::Everest,
+                    PlanTarget::Windows {
+                        len,
+                        slide,
+                        sample_frac,
+                    },
+                ) => {
                     let report = if slide == len {
-                        entry.as_ref().expect("phase-1 engine").prepared.query_topk_windows(
-                            oracle, plan.k, plan.thres, len, sample_frac, &cleaner,
-                        )
+                        entry
+                            .as_ref()
+                            .expect("phase-1 engine")
+                            .prepared
+                            .query_topk_windows(
+                                oracle,
+                                plan.k,
+                                plan.thres,
+                                len,
+                                sample_frac,
+                                &cleaner,
+                            )
                     } else {
-                        entry.as_ref().expect("phase-1 engine").prepared.query_topk_sliding_windows(
-                            oracle, plan.k, plan.thres, len, slide, sample_frac, &cleaner,
-                        )
+                        entry
+                            .as_ref()
+                            .expect("phase-1 engine")
+                            .prepared
+                            .query_topk_sliding_windows(
+                                oracle,
+                                plan.k,
+                                plan.thres,
+                                len,
+                                slide,
+                                sample_frac,
+                                &cleaner,
+                            )
                     };
                     let windows = sliding_windows(n, len, slide);
                     let quality = window_quality(oracle, &windows, &report, plan.k, slide);
@@ -354,7 +392,8 @@ impl Session {
                     (rows, None, None, None, None, scan_seconds, quality)
                 }
                 (Engine::CmdnOnly, PlanTarget::Frames) => {
-                    let result = cmdn_only(&entry.as_ref().expect("phase-1 engine").prepared, plan.k);
+                    let result =
+                        cmdn_only(&entry.as_ref().expect("phase-1 engine").prepared, plan.k);
                     let quality = baseline_quality(oracle, &result, plan.k);
                     let rows = baseline_rows(&result, oracle, fps);
                     (rows, None, None, None, None, result.sim_seconds, quality)
@@ -374,8 +413,12 @@ impl Session {
                     (rows, None, None, None, None, result.sim_seconds, quality)
                 }
                 (Engine::SelectTopk, PlanTarget::Frames) => {
-                    let result =
-                        select_and_topk_calibrated(&entry.as_ref().expect("phase-1 engine").prepared, oracle, plan.k, 0.9);
+                    let result = select_and_topk_calibrated(
+                        &entry.as_ref().expect("phase-1 engine").prepared,
+                        oracle,
+                        plan.k,
+                        0.9,
+                    );
                     let quality = baseline_quality(oracle, &result, plan.k);
                     let rows = baseline_rows(&result, oracle, fps);
                     (rows, None, None, None, None, result.sim_seconds, quality)
@@ -418,7 +461,13 @@ impl Session {
     /// Returns the cached Phase-1 preparation for a plan, building it on a
     /// miss. The bool is `true` on a cache hit.
     fn prepared(&mut self, plan: &QueryPlan) -> (Arc<PreparedEntry>, bool) {
-        self.prepared_for(&plan.source, plan.score, plan.scale_divisor, plan.seed, plan.quant_step)
+        self.prepared_for(
+            &plan.source,
+            plan.score,
+            plan.scale_divisor,
+            plan.seed,
+            plan.quant_step,
+        )
     }
 
     /// Cache lookup/build keyed by `(dataset, score, scale, seed, step)`.
@@ -443,7 +492,10 @@ impl Session {
         let built = source.build(score, scale, seed);
         let cfg = phase1_recipe(step, seed);
         let prepared = Everest::prepare(built.video.as_ref(), &built.oracle, &cfg);
-        let entry = Arc::new(PreparedEntry { prepared, oracle: built.oracle });
+        let entry = Arc::new(PreparedEntry {
+            prepared,
+            oracle: built.oracle,
+        });
         self.cache.insert(key, Arc::clone(&entry));
         (entry, false)
     }
@@ -454,10 +506,7 @@ impl Session {
     /// Top-K on `count(...)` reuses the skyline's first dimension). All
     /// dimensions derive from the *same* detector pass, so confirming a
     /// frame charges one oracle invocation regardless of dimensionality.
-    fn run_skyline(
-        &mut self,
-        plan: crate::plan::SkylinePlan,
-    ) -> Result<SkylineOutput, EvqlError> {
+    fn run_skyline(&mut self, plan: crate::plan::SkylinePlan) -> Result<SkylineOutput, EvqlError> {
         use everest_core::skyline::{
             run_skyline_cleaner, zip_relations, SkylineConfig, SkylineOracle,
         };
@@ -482,16 +531,16 @@ impl Session {
         for e in &entries[1..] {
             if e.prepared.phase1.segments.retained() != retained.as_slice() {
                 return Err(EvqlError::new(
-                    ErrorKind::Exec(
-                        "phase-1 segmentations diverged across dimensions".into(),
-                    ),
+                    ErrorKind::Exec("phase-1 segmentations diverged across dimensions".into()),
                     crate::token::Span::point(0),
                 ));
             }
         }
 
-        let relations: Vec<&everest_core::xtuple::UncertainRelation> =
-            entries.iter().map(|e| &e.prepared.phase1.relation).collect();
+        let relations: Vec<&everest_core::xtuple::UncertainRelation> = entries
+            .iter()
+            .map(|e| &e.prepared.phase1.relation)
+            .collect();
         let mut rel = zip_relations(&relations);
 
         struct MultiOracle<'a> {
@@ -503,12 +552,14 @@ impl Session {
         }
         impl SkylineOracle for MultiOracle<'_> {
             fn clean_batch(&mut self, items: &[usize]) -> Vec<Vec<u32>> {
-                let frames: Vec<usize> =
-                    items.iter().map(|&i| self.retained[i]).collect();
+                let frames: Vec<usize> = items.iter().map(|&i| self.retained[i]).collect();
                 // One detector pass yields every dimension's score.
                 self.frames_scored += frames.len();
-                let per_dim: Vec<Vec<f64>> =
-                    self.oracles.iter().map(|o| o.score_batch(&frames)).collect();
+                let per_dim: Vec<Vec<f64>> = self
+                    .oracles
+                    .iter()
+                    .map(|o| o.score_batch(&frames))
+                    .collect();
                 (0..frames.len())
                     .map(|i| {
                         per_dim
@@ -516,8 +567,7 @@ impl Session {
                             .enumerate()
                             .map(|(j, scores)| {
                                 ((scores[i] / self.steps[j]).round().max(0.0) as usize)
-                                    .min(self.max_buckets[j])
-                                    as u32
+                                    .min(self.max_buckets[j]) as u32
                             })
                             .collect()
                     })
@@ -541,7 +591,11 @@ impl Session {
         let outcome = run_skyline_cleaner(
             &mut rel,
             &mut oracle,
-            &SkylineConfig { thres: plan.thres, batch_size: plan.batch, max_cleanings: None },
+            &SkylineConfig {
+                thres: plan.thres,
+                batch_size: plan.batch,
+                max_cleanings: None,
+            },
         );
 
         // Simulated cost: both Phase-1 clocks + one oracle charge per
@@ -575,7 +629,9 @@ impl Session {
             })
             .collect();
         rows.sort_by(|a, b| {
-            b.scores[0].partial_cmp(&a.scores[0]).unwrap_or(std::cmp::Ordering::Equal)
+            b.scores[0]
+                .partial_cmp(&a.scores[0])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
 
         Ok(SkylineOutput {
@@ -610,7 +666,10 @@ fn phase1_recipe(quant_step: f64, seed: u64) -> Phase1Config {
         sample_cap: 800,
         sample_min: 200,
         grid: HyperGrid::single(3, 16),
-        train: TrainConfig { epochs: 6, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        },
         conv_channels: vec![6, 12],
         quant_step,
         seed: seed.wrapping_add(0xE7E57),
@@ -634,11 +693,7 @@ fn report_rows(report: &QueryReport, fps: f64) -> Vec<AnswerRow> {
         .collect()
 }
 
-fn baseline_rows(
-    result: &BaselineResult,
-    oracle: &ExactScoreOracle,
-    fps: f64,
-) -> Vec<AnswerRow> {
+fn baseline_rows(result: &BaselineResult, oracle: &ExactScoreOracle, fps: f64) -> Vec<AnswerRow> {
     result
         .topk
         .iter()
@@ -782,7 +837,11 @@ impl SkylineOutput {
             }
             out.push('\n');
         }
-        out.push_str(&format!("{}\n{}", "-".repeat(width), self.stats.render(0.0)));
+        out.push_str(&format!(
+            "{}\n{}",
+            "-".repeat(width),
+            self.stats.render(0.0)
+        ));
         out
     }
 }
@@ -836,17 +895,27 @@ mod tests {
     fn show_unknown_target_suggests() {
         let mut s = fast_session();
         let err = s.execute("SHOW DATASET").unwrap_err();
-        assert!(err.message().contains("did you mean `datasets`"), "{}", err.message());
+        assert!(
+            err.message().contains("did you mean `datasets`"),
+            "{}",
+            err.message()
+        );
     }
 
     #[test]
     fn explain_does_not_execute() {
         let mut s = fast_session();
-        match s.execute("EXPLAIN SELECT TOP 5 FRAMES FROM Archie").unwrap() {
+        match s
+            .execute("EXPLAIN SELECT TOP 5 FRAMES FROM Archie")
+            .unwrap()
+        {
             Output::Message(m) => assert!(m.contains("TopK(k=5"), "{m}"),
             other => panic!("{other:?}"),
         }
-        match s.execute("EXPLAIN SELECT SKYLINE FROM Archie WITH CONFIDENCE 0.8").unwrap() {
+        match s
+            .execute("EXPLAIN SELECT SKYLINE FROM Archie WITH CONFIDENCE 0.8")
+            .unwrap()
+        {
             Output::Message(m) => {
                 assert!(m.contains("Skyline(dims=2, thres=0.8"), "{m}");
                 assert!(m.contains("count(car), coverage()"), "{m}");
@@ -859,7 +928,10 @@ mod tests {
     #[test]
     fn everest_frame_query_end_to_end() {
         let mut s = fast_session();
-        let out = match s.execute("SELECT TOP 5 FRAMES FROM Archie WITH SEED 3").unwrap() {
+        let out = match s
+            .execute("SELECT TOP 5 FRAMES FROM Archie WITH SEED 3")
+            .unwrap()
+        {
             Output::Rows(o) => o,
             other => panic!("{other:?}"),
         };
@@ -886,20 +958,35 @@ mod tests {
     #[test]
     fn phase1_cache_reused_across_queries() {
         let mut s = fast_session();
-        let first = match s.execute("SELECT TOP 5 FRAMES FROM Archie WITH SEED 3").unwrap() {
+        let first = match s
+            .execute("SELECT TOP 5 FRAMES FROM Archie WITH SEED 3")
+            .unwrap()
+        {
             Output::Rows(o) => o,
             other => panic!("{other:?}"),
         };
         assert!(!first.stats.phase1_cached);
-        let second = match s.execute("SELECT TOP 10 FRAMES FROM Archie WITH SEED 3").unwrap() {
+        let second = match s
+            .execute("SELECT TOP 10 FRAMES FROM Archie WITH SEED 3")
+            .unwrap()
+        {
             Output::Rows(o) => o,
             other => panic!("{other:?}"),
         };
-        assert!(second.stats.phase1_cached, "same dataset+score+seed must hit the cache");
+        assert!(
+            second.stats.phase1_cached,
+            "same dataset+score+seed must hit the cache"
+        );
         assert_eq!(s.cached_preparations(), 1);
-        assert!(second.stats.wall < first.stats.wall, "cache must save wall time");
+        assert!(
+            second.stats.wall < first.stats.wall,
+            "cache must save wall time"
+        );
         // different seed = different video → miss
-        let third = match s.execute("SELECT TOP 5 FRAMES FROM Archie WITH SEED 4").unwrap() {
+        let third = match s
+            .execute("SELECT TOP 5 FRAMES FROM Archie WITH SEED 4")
+            .unwrap()
+        {
             Output::Rows(o) => o,
             other => panic!("{other:?}"),
         };
@@ -924,7 +1011,10 @@ mod tests {
         assert_eq!(q.precision, 1.0);
         assert_eq!(q.score_error, 0.0);
         assert!(out.stats.confidence.is_none());
-        assert!((out.stats.speedup - 1.0).abs() < 1e-9, "scan speedup is 1 by definition");
+        assert!(
+            (out.stats.speedup - 1.0).abs() < 1e-9,
+            "scan speedup is 1 by definition"
+        );
     }
 
     #[test]
@@ -937,8 +1027,14 @@ mod tests {
             Output::Rows(o) => o,
             other => panic!("{other:?}"),
         };
-        assert!(out.stats.speedup > 2.0, "cheap scan must beat the oracle scan");
-        assert!(out.stats.quality.unwrap().precision < 1.0, "and pay for it in precision");
+        assert!(
+            out.stats.speedup > 2.0,
+            "cheap scan must beat the oracle scan"
+        );
+        assert!(
+            out.stats.quality.unwrap().precision < 1.0,
+            "and pay for it in precision"
+        );
         assert_eq!(s.cached_preparations(), 0, "cheap scans need no Phase 1");
     }
 }

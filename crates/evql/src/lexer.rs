@@ -11,7 +11,12 @@ use crate::token::{Span, Token, TokenKind};
 
 /// Lexes a full query string.
 pub fn lex(src: &str) -> Result<Vec<Token>, EvqlError> {
-    Lexer { src, bytes: src.as_bytes(), pos: 0 }.run()
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
 }
 
 struct Lexer<'a> {
@@ -84,7 +89,10 @@ impl<'a> Lexer<'a> {
             }
             self.pos += 1;
         }
-        Err(EvqlError::new(ErrorKind::UnterminatedString, Span::new(start, self.pos)))
+        Err(EvqlError::new(
+            ErrorKind::UnterminatedString,
+            Span::new(start, self.pos),
+        ))
     }
 
     fn number(&mut self) -> Result<Token, EvqlError> {
@@ -183,7 +191,10 @@ mod tests {
 
     #[test]
     fn hyphenated_dataset_names_are_single_idents() {
-        assert_eq!(kinds("Grand-Canal"), vec![TokenKind::Ident("Grand-Canal".into())]);
+        assert_eq!(
+            kinds("Grand-Canal"),
+            vec![TokenKind::Ident("Grand-Canal".into())]
+        );
         assert_eq!(
             kinds("Daxi-old-street"),
             vec![TokenKind::Ident("Daxi-old-street".into())]
@@ -223,7 +234,10 @@ mod tests {
 
     #[test]
     fn strings_both_quote_styles() {
-        assert_eq!(kinds("'Grand-Canal'"), vec![TokenKind::Str("Grand-Canal".into())]);
+        assert_eq!(
+            kinds("'Grand-Canal'"),
+            vec![TokenKind::Str("Grand-Canal".into())]
+        );
         assert_eq!(kinds("\"x y\""), vec![TokenKind::Str("x y".into())]);
     }
 
@@ -260,8 +274,14 @@ mod tests {
             ]
         );
         // spans reconstruct the source
-        assert_eq!(&"count(car), k=5;"[toks[0].span.start..toks[0].span.end], "count");
-        assert_eq!(&"count(car), k=5;"[toks[7].span.start..toks[7].span.end], "5");
+        assert_eq!(
+            &"count(car), k=5;"[toks[0].span.start..toks[0].span.end],
+            "count"
+        );
+        assert_eq!(
+            &"count(car), k=5;"[toks[7].span.start..toks[7].span.end],
+            "5"
+        );
     }
 
     #[test]

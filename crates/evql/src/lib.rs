@@ -47,6 +47,7 @@
 //!         assert!(answer.stats.confidence.unwrap() >= 0.9);
 //!     }
 //!     Output::Message(m) => println!("{m}"),
+//!     other => println!("{other:?}"),
 //! }
 //! ```
 
@@ -62,9 +63,7 @@ pub mod token;
 
 pub use analyze::{analyze as analyze_select, analyze_skyline, SessionSettings};
 pub use error::EvqlError;
-pub use exec::{
-    AnswerRow, ExecStats, Output, QueryOutput, Session, SkylineOutput, SkylineRow,
-};
+pub use exec::{AnswerRow, ExecStats, Output, QueryOutput, Session, SkylineOutput, SkylineRow};
 pub use parser::parse;
 pub use plan::{Engine, PlanTarget, QueryPlan, SkylinePlan};
 

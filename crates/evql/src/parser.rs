@@ -5,9 +5,7 @@
 //! grammar reports what it expected and what it found, with a span, so the
 //! CLI can render a caret diagnostic.
 
-use crate::ast::{
-    Literal, LiteralValue, OptionClause, ScoreCall, SelectStmt, Statement, Target,
-};
+use crate::ast::{Literal, LiteralValue, OptionClause, ScoreCall, SelectStmt, Statement, Target};
 use crate::error::{ErrorKind, EvqlError};
 use crate::lexer::lex;
 use crate::token::{Span, Token, TokenKind};
@@ -15,7 +13,11 @@ use crate::token::{Span, Token, TokenKind};
 /// Parses exactly one statement (a trailing `;` is allowed).
 pub fn parse(src: &str) -> Result<Statement, EvqlError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0, src_len: src.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
     let stmt = p.statement()?;
     p.eat_semi();
     if let Some(t) = p.peek() {
@@ -52,11 +54,16 @@ impl Parser {
     fn err_expected(&self, wanted: &str) -> EvqlError {
         match self.peek() {
             Some(t) => EvqlError::new(
-                ErrorKind::Expected { wanted: wanted.into(), got: t.kind.describe() },
+                ErrorKind::Expected {
+                    wanted: wanted.into(),
+                    got: t.kind.describe(),
+                },
                 t.span,
             ),
             None => EvqlError::new(
-                ErrorKind::UnexpectedEnd { wanted: wanted.into() },
+                ErrorKind::UnexpectedEnd {
+                    wanted: wanted.into(),
+                },
                 self.end_span(),
             ),
         }
@@ -85,7 +92,10 @@ impl Parser {
 
     fn expect_ident(&mut self, what: &str) -> Result<(String, Span), EvqlError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Ident(s), span }) => {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                span,
+            }) => {
                 let out = (s.clone(), *span);
                 self.pos += 1;
                 Ok(out)
@@ -96,7 +106,10 @@ impl Parser {
 
     fn expect_int(&mut self, what: &str) -> Result<(u64, Span), EvqlError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Int(v), span }) => {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                span,
+            }) => {
                 let out = (*v, *span);
                 self.pos += 1;
                 Ok(out)
@@ -117,23 +130,30 @@ impl Parser {
         match self.peek() {
             Some(t) if t.is_kw("SELECT") => {
                 // Lookahead: `SELECT SKYLINE …` vs `SELECT TOP …`.
-                if self.tokens.get(self.pos + 1).is_some_and(|t| t.is_kw("SKYLINE")) {
+                if self
+                    .tokens
+                    .get(self.pos + 1)
+                    .is_some_and(|t| t.is_kw("SKYLINE"))
+                {
                     return Ok(Statement::Skyline(self.skyline()?));
                 }
                 Ok(Statement::Select(self.select()?))
             }
             Some(t) if t.is_kw("EXPLAIN") => {
                 self.pos += 1;
-                if self.tokens.get(self.pos + 1).is_some_and(|t| t.is_kw("SKYLINE")) {
+                if self
+                    .tokens
+                    .get(self.pos + 1)
+                    .is_some_and(|t| t.is_kw("SKYLINE"))
+                {
                     return Ok(Statement::ExplainSkyline(self.skyline()?));
                 }
                 Ok(Statement::Explain(self.select()?))
             }
             Some(t) if t.is_kw("SHOW") => {
                 self.pos += 1;
-                let (what, span) = self.expect_ident(
-                    "`DATASETS`, `SCORES`, `ENGINES` or `SETTINGS`",
-                )?;
+                let (what, span) =
+                    self.expect_ident("`DATASETS`, `SCORES`, `ENGINES` or `SETTINGS`")?;
                 Ok(Statement::Show { what, span })
             }
             Some(t) if t.is_kw("SET") => {
@@ -184,7 +204,16 @@ impl Parser {
                 break;
             }
         }
-        Ok(SelectStmt { k, k_span, target, source, source_span, score, engine, options })
+        Ok(SelectStmt {
+            k,
+            k_span,
+            target,
+            source,
+            source_span,
+            score,
+            engine,
+            options,
+        })
     }
 
     fn skyline(&mut self) -> Result<crate::ast::SkylineStmt, EvqlError> {
@@ -208,11 +237,20 @@ impl Parser {
                 options.push(self.option_clause()?);
             }
         }
-        Ok(crate::ast::SkylineStmt { scores, skyline_span, source, source_span, options })
+        Ok(crate::ast::SkylineStmt {
+            scores,
+            skyline_span,
+            source,
+            source_span,
+            options,
+        })
     }
 
     fn duplicate_clause(&self, clause: &str) -> EvqlError {
-        let span = self.tokens.get(self.pos.saturating_sub(1)).map_or(self.end_span(), |t| t.span);
+        let span = self
+            .tokens
+            .get(self.pos.saturating_sub(1))
+            .map_or(self.end_span(), |t| t.span);
         EvqlError::new(
             ErrorKind::Expected {
                 wanted: format!("at most one `{clause}` clause"),
@@ -235,19 +273,29 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Target::Windows { len, len_span, slide });
+            return Ok(Target::Windows {
+                len,
+                len_span,
+                slide,
+            });
         }
         Err(self.err_expected("`FRAMES` or `WINDOWS OF <n> FRAMES`"))
     }
 
     fn source(&mut self) -> Result<(String, Span), EvqlError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Ident(s), span }) => {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                span,
+            }) => {
                 let out = (s.clone(), *span);
                 self.pos += 1;
                 Ok(out)
             }
-            Some(Token { kind: TokenKind::Str(s), span }) => {
+            Some(Token {
+                kind: TokenKind::Str(s),
+                span,
+            }) => {
                 let out = (s.clone(), *span);
                 self.pos += 1;
                 Ok(out)
@@ -259,7 +307,10 @@ impl Parser {
     fn score_call(&mut self) -> Result<ScoreCall, EvqlError> {
         let (name, name_span) = self.expect_ident("a scoring function name")?;
         match self.peek() {
-            Some(Token { kind: TokenKind::LParen, .. }) => {
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
                 self.pos += 1;
             }
             _ => return Err(self.err_expected("`(` after the scoring function name")),
@@ -273,21 +324,34 @@ impl Parser {
             }
         }
         let rparen = match self.next() {
-            Some(Token { kind: TokenKind::RParen, span }) => span,
+            Some(Token {
+                kind: TokenKind::RParen,
+                span,
+            }) => span,
             Some(t) => {
                 return Err(EvqlError::new(
-                    ErrorKind::Expected { wanted: "`)`".into(), got: t.kind.describe() },
+                    ErrorKind::Expected {
+                        wanted: "`)`".into(),
+                        got: t.kind.describe(),
+                    },
                     t.span,
                 ))
             }
             None => {
                 return Err(EvqlError::new(
-                    ErrorKind::UnexpectedEnd { wanted: "`)`".into() },
+                    ErrorKind::UnexpectedEnd {
+                        wanted: "`)`".into(),
+                    },
                     self.end_span(),
                 ))
             }
         };
-        Ok(ScoreCall { name, name_span, args, span: name_span.merge(rparen) })
+        Ok(ScoreCall {
+            name,
+            name_span,
+            args,
+            span: name_span.merge(rparen),
+        })
     }
 
     fn option_clause(&mut self) -> Result<OptionClause, EvqlError> {
@@ -297,23 +361,48 @@ impl Parser {
             self.pos += 1;
         }
         let value = self.literal(&format!("a value for option `{name}`"))?;
-        Ok(OptionClause { name, name_span, value })
+        Ok(OptionClause {
+            name,
+            name_span,
+            value,
+        })
     }
 
     fn literal(&mut self, what: &str) -> Result<Literal, EvqlError> {
         match self.peek().cloned() {
-            Some(Token { kind: TokenKind::Int(v), span }) => {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                span,
+            }) => {
                 self.pos += 1;
-                Ok(Literal { value: LiteralValue::Int(v), span })
+                Ok(Literal {
+                    value: LiteralValue::Int(v),
+                    span,
+                })
             }
-            Some(Token { kind: TokenKind::Float(v), span }) => {
+            Some(Token {
+                kind: TokenKind::Float(v),
+                span,
+            }) => {
                 self.pos += 1;
-                Ok(Literal { value: LiteralValue::Float(v), span })
+                Ok(Literal {
+                    value: LiteralValue::Float(v),
+                    span,
+                })
             }
-            Some(Token { kind: TokenKind::Ident(s), span })
-            | Some(Token { kind: TokenKind::Str(s), span }) => {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                span,
+            })
+            | Some(Token {
+                kind: TokenKind::Str(s),
+                span,
+            }) => {
                 self.pos += 1;
-                Ok(Literal { value: LiteralValue::Word(s), span })
+                Ok(Literal {
+                    value: LiteralValue::Word(s),
+                    span,
+                })
             }
             _ => Err(self.err_expected(what)),
         }
@@ -408,7 +497,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // SET without `=` also parses
-        assert!(matches!(parse("SET scale 8").unwrap(), Statement::Set { .. }));
+        assert!(matches!(
+            parse("SET scale 8").unwrap(),
+            Statement::Set { .. }
+        ));
     }
 
     #[test]

@@ -61,9 +61,9 @@ impl Engine {
 
     /// Resolves an engine name (any alias, case-insensitive).
     pub fn by_name(name: &str) -> Option<Engine> {
-        Engine::all().into_iter().find(|e| {
-            e.aliases().iter().any(|a| a.eq_ignore_ascii_case(name))
-        })
+        Engine::all()
+            .into_iter()
+            .find(|e| e.aliases().iter().any(|a| a.eq_ignore_ascii_case(name)))
     }
 }
 
@@ -72,7 +72,11 @@ impl Engine {
 pub enum PlanTarget {
     Frames,
     /// `slide == len` is a tumbling window (§3.4); `slide < len` slides.
-    Windows { len: usize, slide: usize, sample_frac: f64 },
+    Windows {
+        len: usize,
+        slide: usize,
+        sample_frac: f64,
+    },
 }
 
 /// A fully-resolved, validated Top-K query.
@@ -134,10 +138,19 @@ impl QueryPlan {
             }
         ));
         let mut indent = " └─ ";
-        if let PlanTarget::Windows { len, slide, sample_frac } = self.target {
+        if let PlanTarget::Windows {
+            len,
+            slide,
+            sample_frac,
+        } = self.target
+        {
             out.push_str(&format!(
                 "{indent}WindowAgg(len={len}, slide={slide}{}, sample={sample_frac})\n",
-                if slide == len { " [tumbling]" } else { " [sliding]" },
+                if slide == len {
+                    " [tumbling]"
+                } else {
+                    " [sliding]"
+                },
             ));
             indent = "     └─ ";
         }
@@ -163,8 +176,10 @@ impl QueryPlan {
                 }
             }
             Engine::Scan => {
-                out.push_str(&format!("{deeper}OracleScan(cost≈{:.0} ms/frame)\n",
-                    1000.0 * oracle_cost_hint(self.score)));
+                out.push_str(&format!(
+                    "{deeper}OracleScan(cost≈{:.0} ms/frame)\n",
+                    1000.0 * oracle_cost_hint(self.score)
+                ));
             }
             Engine::Hog | Engine::TinyYolo => {
                 out.push_str(&format!("{deeper}CheapScan({})\n", self.engine.display()));
@@ -215,10 +230,15 @@ impl SkylinePlan {
             " └─ UncertainScan(dataset={}, frames={}, scores=[{}])\n",
             self.source.name,
             self.n_frames,
-            self.scores.iter().map(|s| s.display()).collect::<Vec<_>>().join(", "),
+            self.scores
+                .iter()
+                .map(|s| s.display())
+                .collect::<Vec<_>>()
+                .join(", "),
         ));
         out.push_str(&format!(
-            "     └─ Phase1(one CMDN per dimension, seed={})\n", self.seed
+            "     └─ Phase1(one CMDN per dimension, seed={})\n",
+            self.seed
         ));
         out.push_str(&format!(
             "     └─ SkylineClean(smallest-factor batches of {}, shared detector pass)\n",
@@ -264,19 +284,38 @@ mod tests {
     fn n_items_frames_and_windows() {
         assert_eq!(plan(PlanTarget::Frames, 1000).n_items(), 1000);
         // tumbling 100-frame windows over 1000 frames = 10
-        let t = PlanTarget::Windows { len: 100, slide: 100, sample_frac: 0.1 };
+        let t = PlanTarget::Windows {
+            len: 100,
+            slide: 100,
+            sample_frac: 0.1,
+        };
         assert_eq!(plan(t, 1000).n_items(), 10);
         // sliding by 50: (1000-100)/50 + 1 = 19
-        let s = PlanTarget::Windows { len: 100, slide: 50, sample_frac: 0.1 };
+        let s = PlanTarget::Windows {
+            len: 100,
+            slide: 50,
+            sample_frac: 0.1,
+        };
         assert_eq!(plan(s, 1000).n_items(), 19);
         // degenerate: video shorter than the window
-        let d = PlanTarget::Windows { len: 100, slide: 100, sample_frac: 0.1 };
+        let d = PlanTarget::Windows {
+            len: 100,
+            slide: 100,
+            sample_frac: 0.1,
+        };
         assert_eq!(plan(d, 60).n_items(), 1);
     }
 
     #[test]
     fn explain_mentions_the_pieces() {
-        let p = plan(PlanTarget::Windows { len: 30, slide: 15, sample_frac: 0.1 }, 5000);
+        let p = plan(
+            PlanTarget::Windows {
+                len: 30,
+                slide: 15,
+                sample_frac: 0.1,
+            },
+            5000,
+        );
         let text = p.explain();
         assert!(text.contains("TopK(k=10"), "{text}");
         assert!(text.contains("[sliding]"), "{text}");

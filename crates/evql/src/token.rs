@@ -29,7 +29,10 @@ impl Span {
 
     /// The smallest span covering both `self` and `other`.
     pub fn merge(self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 }
 
@@ -102,7 +105,10 @@ mod tests {
 
     #[test]
     fn keyword_match_is_case_insensitive() {
-        let t = Token { kind: TokenKind::Ident("Select".into()), span: Span::new(0, 6) };
+        let t = Token {
+            kind: TokenKind::Ident("Select".into()),
+            span: Span::new(0, 6),
+        };
         assert!(t.is_kw("SELECT"));
         assert!(t.is_kw("select"));
         assert!(!t.is_kw("from"));

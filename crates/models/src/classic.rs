@@ -141,17 +141,23 @@ mod tests {
         let ys: Vec<f64> = (0..n).map(|t| tiny.score(t)).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (mx, my) = (mean(&xs), mean(&ys));
-        let cov: f64 =
-            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n as f64;
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n as f64;
         let sx = (xs.iter().map(|x| (x - mx) * (x - mx)).sum::<f64>() / n as f64).sqrt();
         let sy = (ys.iter().map(|y| (y - my) * (y - my)).sum::<f64>() / n as f64).sqrt();
         let corr = cov / (sx * sy);
-        assert!(corr > 0.4, "cheap scorer should correlate with truth: {corr}");
+        assert!(
+            corr > 0.4,
+            "cheap scorer should correlate with truth: {corr}"
+        );
         assert!(corr < 0.95, "but not be accurate enough to rank: {corr}");
         // average absolute error should be large relative to the unit score
         // differences that decide Top-K membership
-        let mae: f64 =
-            xs.iter().zip(&ys).map(|(x, y)| (x - y).abs()).sum::<f64>() / n as f64;
+        let mae: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - y).abs()).sum::<f64>() / n as f64;
         assert!(mae > 1.0, "MAE {mae} too small to model a weak detector");
     }
 

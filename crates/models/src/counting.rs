@@ -17,8 +17,12 @@ use everest_video::visualroad::VisualRoadVideo;
 
 /// Builds the counting oracle for a Table 7-style synthetic video.
 pub fn counting_oracle(video: &SyntheticVideo) -> ExactScoreOracle {
-    let scores: Vec<f64> =
-        video.timeline().counts().iter().map(|&c| c as f64).collect();
+    let scores: Vec<f64> = video
+        .timeline()
+        .counts()
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
     ExactScoreOracle::new(
         format!("yolo-count[{}]", video.config().object_class.name()),
         scores,
@@ -52,8 +56,11 @@ pub fn coverage_oracle(video: &SyntheticVideo) -> ExactScoreOracle {
     let frame_area = (video.width() * video.height()) as f64;
     let scores: Vec<f64> = (0..video.num_frames())
         .map(|t| {
-            let covered: f64 =
-                video.objects_at(t).iter().map(|o| o.bbox.area() as f64).sum();
+            let covered: f64 = video
+                .objects_at(t)
+                .iter()
+                .map(|o| o.bbox.area() as f64)
+                .sum();
             100.0 * covered / frame_area
         })
         .collect();
@@ -75,7 +82,10 @@ mod tests {
     #[test]
     fn counting_scores_equal_ground_truth() {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 500, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 500,
+                ..ArrivalConfig::default()
+            },
             1,
         );
         let v = SyntheticVideo::new(SceneConfig::default(), tl, 1, 30.0);
@@ -90,7 +100,11 @@ mod tests {
     #[test]
     fn visualroad_counting_oracle() {
         let v = VisualRoadVideo::new(
-            VisualRoadConfig { total_cars: 40, n_frames: 200, ..Default::default() },
+            VisualRoadConfig {
+                total_cars: 40,
+                n_frames: 200,
+                ..Default::default()
+            },
             2,
         );
         let oracle = counting_oracle_visualroad(&v);
@@ -102,7 +116,10 @@ mod tests {
     #[test]
     fn coverage_tracks_object_area_not_count() {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 800, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 800,
+                ..ArrivalConfig::default()
+            },
             3,
         );
         let v = SyntheticVideo::new(SceneConfig::default(), tl, 3, 30.0);
@@ -137,6 +154,9 @@ mod tests {
                 }
             }
         }
-        assert!(disagreement, "count and coverage must rank differently somewhere");
+        assert!(
+            disagreement,
+            "count and coverage must rank differently somewhere"
+        );
     }
 }

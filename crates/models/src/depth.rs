@@ -14,8 +14,9 @@ use everest_video::VideoStore;
 
 /// Builds the tailgating-degree oracle for a dashcam video.
 pub fn depth_oracle(video: &DashcamVideo) -> ExactScoreOracle {
-    let scores: Vec<f64> =
-        (0..video.num_frames()).map(|t| video.tailgating_score(t)).collect();
+    let scores: Vec<f64> = (0..video.num_frames())
+        .map(|t| video.tailgating_score(t))
+        .collect();
     ExactScoreOracle::new("depth-tailgating", scores, DEPTH_COST_PER_FRAME)
 }
 
@@ -31,7 +32,13 @@ mod tests {
 
     #[test]
     fn scores_invert_distance() {
-        let v = DashcamVideo::new(DashcamConfig { n_frames: 2_000, ..Default::default() }, 7);
+        let v = DashcamVideo::new(
+            DashcamConfig {
+                n_frames: 2_000,
+                ..Default::default()
+            },
+            7,
+        );
         let oracle = depth_oracle(&v);
         assert_eq!(oracle.num_frames(), 2_000);
         // the closest moment must be the top-scoring frame
@@ -49,7 +56,13 @@ mod tests {
 
     #[test]
     fn scores_are_bounded() {
-        let v = DashcamVideo::new(DashcamConfig { n_frames: 1_000, ..Default::default() }, 8);
+        let v = DashcamVideo::new(
+            DashcamConfig {
+                n_frames: 1_000,
+                ..Default::default()
+            },
+            8,
+        );
         let oracle = depth_oracle(&v);
         for t in 0..1_000 {
             let s = oracle.score(t);

@@ -29,7 +29,10 @@ pub trait Detector: Send + Sync {
 
     /// Count of detections of a class in frame `t`.
     fn count_class(&self, t: usize, class: ObjectClass) -> usize {
-        self.detect(t).into_iter().filter(|d| d.class == class).count()
+        self.detect(t)
+            .into_iter()
+            .filter(|d| d.class == class)
+            .count()
     }
 }
 
@@ -53,7 +56,10 @@ impl Detector for GroundTruthDetector<SyntheticVideo> {
         self.video
             .objects_at(t)
             .into_iter()
-            .map(|o| Detection { bbox: o.bbox, class: o.class })
+            .map(|o| Detection {
+                bbox: o.bbox,
+                class: o.class,
+            })
             .collect()
     }
 
@@ -68,7 +74,10 @@ impl Detector for GroundTruthDetector<VisualRoadVideo> {
         self.video
             .objects_at(t)
             .into_iter()
-            .map(|o| Detection { bbox: o.bbox, class: o.class })
+            .map(|o| Detection {
+                bbox: o.bbox,
+                class: o.class,
+            })
             .collect()
     }
 
@@ -83,7 +92,10 @@ impl Detector for GroundTruthDetector<DashcamVideo> {
         self.video
             .objects_at(t)
             .into_iter()
-            .map(|o| Detection { bbox: o.bbox, class: o.class })
+            .map(|o| Detection {
+                bbox: o.bbox,
+                class: o.class,
+            })
             .collect()
     }
 
@@ -101,7 +113,10 @@ mod tests {
 
     fn tiny_video() -> SyntheticVideo {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 300, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 300,
+                ..ArrivalConfig::default()
+            },
             3,
         );
         SyntheticVideo::new(SceneConfig::default(), tl, 3, 30.0)

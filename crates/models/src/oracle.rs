@@ -52,9 +52,16 @@ pub struct ExactScoreOracle {
 impl ExactScoreOracle {
     pub fn new(name: impl Into<String>, scores: Vec<f64>, cost_per_frame: f64) -> Self {
         assert!(!scores.is_empty(), "oracle needs at least one frame");
-        assert!(scores.iter().all(|s| s.is_finite()), "scores must be finite");
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "scores must be finite"
+        );
         assert!(cost_per_frame >= 0.0);
-        ExactScoreOracle { name: name.into(), scores: Arc::new(scores), cost_per_frame }
+        ExactScoreOracle {
+            name: name.into(),
+            scores: Arc::new(scores),
+            cost_per_frame,
+        }
     }
 
     /// Direct access to the full ground-truth table (used by baselines that
@@ -141,7 +148,8 @@ impl<O: Oracle> InstrumentedOracle<O> {
 
 impl<O: Oracle> Oracle for InstrumentedOracle<O> {
     fn score_batch(&self, frames: &[usize]) -> Vec<f64> {
-        self.frames_scored.fetch_add(frames.len() as u64, Ordering::Relaxed);
+        self.frames_scored
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
         if self.keep_trace {
             self.trace.lock().extend_from_slice(frames);

@@ -90,7 +90,10 @@ impl VideoRelation {
 
     /// All rows of one object, ordered by timestamp (its trajectory).
     pub fn trajectory(&self, object_id: u64) -> Vec<&VideoRelationRow> {
-        self.rows.iter().filter(|r| r.object_id == object_id).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.object_id == object_id)
+            .collect()
     }
 }
 
@@ -112,7 +115,11 @@ mod tests {
             21,
         );
         let video = SyntheticVideo::new(
-            SceneConfig { width: 64, height: 64, ..SceneConfig::default() },
+            SceneConfig {
+                width: 64,
+                height: 64,
+                ..SceneConfig::default()
+            },
             tl,
             21,
             30.0,
@@ -125,8 +132,9 @@ mod tests {
     #[test]
     fn row_count_matches_total_object_frames() {
         let (rel, det) = relation();
-        let expected: usize =
-            (0..det.num_frames()).map(|t| det.video().count_at(t) as usize).sum();
+        let expected: usize = (0..det.num_frames())
+            .map(|t| det.video().count_at(t) as usize)
+            .sum();
         assert_eq!(rel.len(), expected);
     }
 
@@ -161,7 +169,10 @@ mod tests {
         let tracked = rel.distinct_objects();
         // tracking may fragment a few tracks but should be the right order
         // of magnitude
-        assert!(tracked >= gt / 2 && tracked <= gt * 2, "tracked {tracked} vs gt {gt}");
+        assert!(
+            tracked >= gt / 2 && tracked <= gt * 2,
+            "tracked {tracked} vs gt {gt}"
+        );
     }
 
     #[test]

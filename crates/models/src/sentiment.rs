@@ -19,7 +19,9 @@ pub const HAPPINESS_QUANTIZATION_STEP: f64 = 0.25;
 
 /// Builds the happiness oracle for a vlog video.
 pub fn sentiment_oracle(video: &SentimentVideo) -> ExactScoreOracle {
-    let scores: Vec<f64> = (0..video.num_frames()).map(|t| video.happiness(t)).collect();
+    let scores: Vec<f64> = (0..video.num_frames())
+        .map(|t| video.happiness(t))
+        .collect();
     ExactScoreOracle::new("sentribute-happiness", scores, SENTIMENT_COST_PER_FRAME)
 }
 
@@ -32,7 +34,10 @@ mod tests {
     #[test]
     fn oracle_reads_latent_mood() {
         let v = SentimentVideo::new(
-            SentimentConfig { n_frames: 1_000, ..Default::default() },
+            SentimentConfig {
+                n_frames: 1_000,
+                ..Default::default()
+            },
             3,
         );
         let o = sentiment_oracle(&v);
@@ -46,7 +51,10 @@ mod tests {
     #[test]
     fn scores_are_on_the_ten_scale() {
         let v = SentimentVideo::new(
-            SentimentConfig { n_frames: 2_000, ..Default::default() },
+            SentimentConfig {
+                n_frames: 2_000,
+                ..Default::default()
+            },
             4,
         );
         let o = sentiment_oracle(&v);

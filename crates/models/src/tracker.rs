@@ -22,7 +22,10 @@ pub struct TrackerConfig {
 
 impl Default for TrackerConfig {
     fn default() -> Self {
-        TrackerConfig { iou_threshold: 0.25, max_misses: 3 }
+        TrackerConfig {
+            iou_threshold: 0.25,
+            max_misses: 3,
+        }
     }
 }
 
@@ -45,7 +48,11 @@ pub struct IouTracker {
 
 impl IouTracker {
     pub fn new(cfg: TrackerConfig) -> Self {
-        IouTracker { cfg, tracks: Vec::new(), next_id: 0 }
+        IouTracker {
+            cfg,
+            tracks: Vec::new(),
+            next_id: 0,
+        }
     }
 
     /// Number of track ids ever created.
@@ -95,7 +102,11 @@ impl IouTracker {
                 None => {
                     let id = self.next_id;
                     self.next_id += 1;
-                    new_tracks.push(Track { id, last_bbox: det.bbox, misses: 0 });
+                    new_tracks.push(Track {
+                        id,
+                        last_bbox: det.bbox,
+                        misses: 0,
+                    });
                     ids.push(id);
                 }
             }
@@ -126,7 +137,10 @@ mod tests {
     use everest_video::scene::ObjectClass;
 
     fn det(x: f32, y: f32) -> Detection {
-        Detection { bbox: BBox::new(x, y, 10.0, 10.0), class: ObjectClass::Car }
+        Detection {
+            bbox: BBox::new(x, y, 10.0, 10.0),
+            class: ObjectClass::Car,
+        }
     }
 
     #[test]
@@ -164,7 +178,10 @@ mod tests {
 
     #[test]
     fn track_survives_short_occlusion() {
-        let mut tr = IouTracker::new(TrackerConfig { iou_threshold: 0.2, max_misses: 3 });
+        let mut tr = IouTracker::new(TrackerConfig {
+            iou_threshold: 0.2,
+            max_misses: 3,
+        });
         let a = tr.update(&[det(0.0, 0.0)]);
         let _ = tr.update(&[]); // occluded for 2 frames
         let _ = tr.update(&[]);
@@ -174,7 +191,10 @@ mod tests {
 
     #[test]
     fn track_retires_after_max_misses() {
-        let mut tr = IouTracker::new(TrackerConfig { iou_threshold: 0.2, max_misses: 1 });
+        let mut tr = IouTracker::new(TrackerConfig {
+            iou_threshold: 0.2,
+            max_misses: 1,
+        });
         let a = tr.update(&[det(0.0, 0.0)]);
         let _ = tr.update(&[]);
         let _ = tr.update(&[]); // second miss retires it
@@ -185,7 +205,10 @@ mod tests {
 
     #[test]
     fn greedy_matching_prefers_higher_iou() {
-        let mut tr = IouTracker::new(TrackerConfig { iou_threshold: 0.05, max_misses: 0 });
+        let mut tr = IouTracker::new(TrackerConfig {
+            iou_threshold: 0.05,
+            max_misses: 0,
+        });
         // two tracks side by side
         let first = tr.update(&[det(0.0, 0.0), det(8.0, 0.0)]);
         // detections shifted right: each should match the nearer predecessor
@@ -211,7 +234,11 @@ mod tests {
             11,
         );
         let video = SyntheticVideo::new(
-            SceneConfig { width: 64, height: 64, ..SceneConfig::default() },
+            SceneConfig {
+                width: 64,
+                height: 64,
+                ..SceneConfig::default()
+            },
             tl,
             11,
             30.0,
@@ -224,8 +251,13 @@ mod tests {
             std::collections::HashMap::new();
         for t in 0..detector.num_frames() {
             let gt = detector.video().objects_at(t);
-            let dets: Vec<Detection> =
-                gt.iter().map(|o| Detection { bbox: o.bbox, class: o.class }).collect();
+            let dets: Vec<Detection> = gt
+                .iter()
+                .map(|o| Detection {
+                    bbox: o.bbox,
+                    class: o.class,
+                })
+                .collect();
             let ids = tracker.update(&dets);
             for (o, &tid) in gt.iter().zip(ids.iter()) {
                 mapping.entry(o.id).or_default().insert(tid);

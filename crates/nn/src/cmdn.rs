@@ -141,7 +141,13 @@ impl Cmdn {
             fc2.bias.w[g + j] = (lo + q * span) as f32; // μ biases
             fc2.bias.w[2 * g + j] = softplus_inv(span / (2.0 * g as f64)) as f32;
         }
-        Cmdn { cfg, blocks, fc1, fc1_relu: Relu::new(), fc2 }
+        Cmdn {
+            cfg,
+            blocks,
+            fc1,
+            fc1_relu: Relu::new(),
+            fc2,
+        }
     }
 
     pub fn config(&self) -> &CmdnConfig {
@@ -175,9 +181,16 @@ impl Cmdn {
         let exps: Vec<f64> = alpha.iter().map(|a| (a - amax).exp()).collect();
         let z: f64 = exps.iter().sum();
         let pi: Vec<f64> = exps.iter().map(|e| e / z).collect();
-        let sigma: Vec<f64> =
-            raw_s.iter().map(|&s| self.cfg.sigma_min + softplus(s)).collect();
-        MdnParams { pi, mu, sigma, raw_s }
+        let sigma: Vec<f64> = raw_s
+            .iter()
+            .map(|&s| self.cfg.sigma_min + softplus(s))
+            .collect();
+        MdnParams {
+            pi,
+            mu,
+            sigma,
+            raw_s,
+        }
     }
 
     /// Inference: the predicted score distribution for one input.
@@ -186,7 +199,11 @@ impl Cmdn {
         let p = self.to_params(&raw);
         GaussianMixture::new(
             (0..self.cfg.num_gaussians)
-                .map(|j| Component { weight: p.pi[j], mean: p.mu[j], std: p.sigma[j] })
+                .map(|j| Component {
+                    weight: p.pi[j],
+                    mean: p.mu[j],
+                    std: p.sigma[j],
+                })
                 .collect(),
         )
     }
@@ -205,11 +222,17 @@ impl Cmdn {
         let g = self.cfg.num_gaussians;
 
         // Responsibilities γ_j = π_j φ_j / Σ_k π_k φ_k, in log space.
-        let log_phis: Vec<f64> = (0..g).map(|j| log_normal_pdf(y, p.mu[j], p.sigma[j])).collect();
-        let log_terms: Vec<f64> =
-            (0..g).map(|j| p.pi[j].max(1e-300).ln() + log_phis[j]).collect();
+        let log_phis: Vec<f64> = (0..g)
+            .map(|j| log_normal_pdf(y, p.mu[j], p.sigma[j]))
+            .collect();
+        let log_terms: Vec<f64> = (0..g)
+            .map(|j| p.pi[j].max(1e-300).ln() + log_phis[j])
+            .collect();
         let log_density = log_sum_exp(&log_terms);
-        let gamma: Vec<f64> = log_terms.iter().map(|&lt| (lt - log_density).exp()).collect();
+        let gamma: Vec<f64> = log_terms
+            .iter()
+            .map(|&lt| (lt - log_density).exp())
+            .collect();
 
         // Bishop's MDN gradients w.r.t. the raw head outputs.
         let mut grad_raw = vec![0.0f32; 3 * g];
@@ -298,7 +321,11 @@ impl Cmdn {
 
     /// Loads parameters from a flat vector (inverse of [`Cmdn::params_flat`]).
     pub fn set_params_flat(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.num_params(), "flat parameter size mismatch");
+        assert_eq!(
+            flat.len(),
+            self.num_params(),
+            "flat parameter size mismatch"
+        );
         let mut off = 0usize;
         let mut take = |dst: &mut Vec<f32>| {
             let len = dst.len();
@@ -410,7 +437,10 @@ mod tests {
         let mix = m.predict(&vec![0.0f32; 64]);
         let means: Vec<f64> = mix.components().iter().map(|c| c.mean).collect();
         // With zero input, biases dominate: means ≈ 1, 3, 5 on (0, 6).
-        assert!(means[0] < means[1] && means[1] < means[2], "means {means:?}");
+        assert!(
+            means[0] < means[1] && means[1] < means[2],
+            "means {means:?}"
+        );
         assert!(means[0] > -1.0 && means[2] < 7.0, "means {means:?}");
     }
 
@@ -418,7 +448,10 @@ mod tests {
     fn params_flat_roundtrip() {
         let m = Cmdn::new(tiny_cfg());
         let flat = m.params_flat();
-        let mut m2 = Cmdn::new(CmdnConfig { seed: 99, ..tiny_cfg() });
+        let mut m2 = Cmdn::new(CmdnConfig {
+            seed: 99,
+            ..tiny_cfg()
+        });
         assert_ne!(m2.params_flat(), flat);
         m2.set_params_flat(&flat);
         assert_eq!(m2.params_flat(), flat);
@@ -502,7 +535,10 @@ mod tests {
     #[test]
     fn softplus_inverse_roundtrip() {
         for y in [0.1, 1.0, 5.0, 40.0] {
-            assert!((softplus(softplus_inv(y)) - y).abs() < 1e-9, "roundtrip {y}");
+            assert!(
+                (softplus(softplus_inv(y)) - y).abs() < 1e-9,
+                "roundtrip {y}"
+            );
         }
     }
 
@@ -539,7 +575,12 @@ mod serde_tests {
         let b = back.predict(&input);
         assert_eq!(a.components().len(), b.components().len());
         for (ca, cb) in a.components().iter().zip(b.components()) {
-            assert!((ca.mean - cb.mean).abs() < 1e-6, "{} vs {}", ca.mean, cb.mean);
+            assert!(
+                (ca.mean - cb.mean).abs() < 1e-6,
+                "{} vs {}",
+                ca.mean,
+                cb.mean
+            );
             assert!((ca.std - cb.std).abs() < 1e-6);
             assert!((ca.weight - cb.weight).abs() < 1e-6);
         }

@@ -7,8 +7,8 @@
 //! construction.
 
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// A learnable parameter tensor with its gradient accumulator.
 ///
@@ -126,8 +126,8 @@ impl Conv3x3 {
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                acc += input[row + ix as usize]
-                                    * self.weight.w[wbase + ky * 3 + kx];
+                                acc +=
+                                    input[row + ix as usize] * self.weight.w[wbase + ky * 3 + kx];
                             }
                         }
                     }
@@ -141,7 +141,10 @@ impl Conv3x3 {
     /// Accumulates weight/bias gradients and returns the input gradient.
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
         assert_eq!(grad_out.len(), self.output_len(), "conv grad size mismatch");
-        assert!(!self.cached_input.is_empty(), "backward before forward(train=true)");
+        assert!(
+            !self.cached_input.is_empty(),
+            "backward before forward(train=true)"
+        );
         let (h, w) = (self.h, self.w);
         let input = &self.cached_input;
         let mut grad_in = vec![0.0f32; self.input_len()];
@@ -193,8 +196,16 @@ pub struct MaxPool2x2 {
 
 impl MaxPool2x2 {
     pub fn new(ch: usize, h: usize, w: usize) -> Self {
-        assert!(h % 2 == 0 && w % 2 == 0, "pooling needs even dims, got {h}×{w}");
-        MaxPool2x2 { ch, h, w, argmax: Vec::new() }
+        assert!(
+            h.is_multiple_of(2) && w.is_multiple_of(2),
+            "pooling needs even dims, got {h}×{w}"
+        );
+        MaxPool2x2 {
+            ch,
+            h,
+            w,
+            argmax: Vec::new(),
+        }
     }
 
     pub fn input_len(&self) -> usize {
@@ -210,7 +221,11 @@ impl MaxPool2x2 {
         let (h, w) = (self.h, self.w);
         let (oh, ow) = (h / 2, w / 2);
         let mut out = vec![0.0f32; self.output_len()];
-        let mut argmax = if train { vec![0u32; self.output_len()] } else { Vec::new() };
+        let mut argmax = if train {
+            vec![0u32; self.output_len()]
+        } else {
+            Vec::new()
+        };
         for c in 0..self.ch {
             let ibase = c * h * w;
             let obase = c * oh * ow;
@@ -242,7 +257,10 @@ impl MaxPool2x2 {
 
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
         assert_eq!(grad_out.len(), self.output_len());
-        assert!(!self.argmax.is_empty(), "backward before forward(train=true)");
+        assert!(
+            !self.argmax.is_empty(),
+            "backward before forward(train=true)"
+        );
         let mut grad_in = vec![0.0f32; self.input_len()];
         for (i, &go) in grad_out.iter().enumerate() {
             grad_in[self.argmax[i] as usize] += go;
@@ -271,7 +289,11 @@ impl Relu {
     }
 
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
-        assert_eq!(grad_out.len(), self.mask.len(), "relu backward before forward");
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "relu backward before forward"
+        );
         grad_out
             .iter()
             .zip(self.mask.iter())
@@ -321,7 +343,10 @@ impl Dense {
 
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
         assert_eq!(grad_out.len(), self.out_dim);
-        assert!(!self.cached_input.is_empty(), "backward before forward(train=true)");
+        assert!(
+            !self.cached_input.is_empty(),
+            "backward before forward(train=true)"
+        );
         let input = &self.cached_input;
         let mut grad_in = vec![0.0f32; self.in_dim];
         for o in 0..self.out_dim {
@@ -375,15 +400,16 @@ mod tests {
     fn conv_gradient_check() {
         let mut rng = init_rng(7);
         let mut conv = Conv3x3::new(2, 3, 4, 4, &mut rng);
-        let input: Vec<f32> = (0..conv.input_len()).map(|i| (i as f32 * 0.37).sin()).collect();
+        let input: Vec<f32> = (0..conv.input_len())
+            .map(|i| (i as f32 * 0.37).sin())
+            .collect();
         let out = conv.forward(&input, true);
         // L = Σ out², dL/dout = 2·out
         let grad_out: Vec<f32> = out.iter().map(|&o| 2.0 * o).collect();
         let grad_in = conv.backward(&grad_out);
 
-        let loss = |c: &mut Conv3x3, x: &[f32]| -> f32 {
-            c.forward(x, false).iter().map(|o| o * o).sum()
-        };
+        let loss =
+            |c: &mut Conv3x3, x: &[f32]| -> f32 { c.forward(x, false).iter().map(|o| o * o).sum() };
         let eps = 1e-2f32;
         let mut x = input.clone();
         for i in [0usize, 5, 11, 17, 23, 31] {
@@ -506,6 +532,9 @@ mod tests {
         let mut rng = init_rng(4);
         let w = he_init(&mut rng, 10_000, 100);
         let var: f32 = w.iter().map(|x| x * x).sum::<f32>() / w.len() as f32;
-        assert!((var - 0.02).abs() < 0.005, "He variance {var} should be ≈ 2/100");
+        assert!(
+            (var - 0.02).abs() < 0.005,
+            "He variance {var} should be ≈ 2/100"
+        );
     }
 }

@@ -32,12 +32,18 @@ impl GaussianMixture {
     ///
     /// Panics if no component has positive weight or any σ ≤ 0.
     pub fn new(mut components: Vec<Component>) -> Self {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         let total: f64 = components.iter().map(|c| c.weight.max(0.0)).sum();
         assert!(total > 0.0, "mixture needs positive total weight");
         for c in &mut components {
             assert!(c.std > 0.0, "component std must be positive");
-            assert!(c.mean.is_finite() && c.std.is_finite(), "non-finite component");
+            assert!(
+                c.mean.is_finite() && c.std.is_finite(),
+                "non-finite component"
+            );
             c.weight = c.weight.max(0.0) / total;
         }
         GaussianMixture { components }
@@ -45,7 +51,11 @@ impl GaussianMixture {
 
     /// A single Gaussian as a 1-component mixture.
     pub fn single(mean: f64, std: f64) -> Self {
-        GaussianMixture::new(vec![Component { weight: 1.0, mean, std }])
+        GaussianMixture::new(vec![Component {
+            weight: 1.0,
+            mean,
+            std,
+        }])
     }
 
     pub fn components(&self) -> &[Component] {
@@ -64,8 +74,11 @@ impl GaussianMixture {
     /// Total variance: Σ π_j (σ_j² + μ_j²) − ¯μ² (the paper's ¯σ², §3.4).
     pub fn variance(&self) -> f64 {
         let m = self.mean();
-        let second: f64 =
-            self.components.iter().map(|c| c.weight * (c.std * c.std + c.mean * c.mean)).sum();
+        let second: f64 = self
+            .components
+            .iter()
+            .map(|c| c.weight * (c.std * c.std + c.mean * c.mean))
+            .sum();
         (second - m * m).max(0.0)
     }
 
@@ -82,7 +95,10 @@ impl GaussianMixture {
 
     /// CDF at `x` (untruncated).
     pub fn cdf(&self, x: f64) -> f64 {
-        self.components.iter().map(|c| c.weight * normal_cdf(x, c.mean, c.std)).sum()
+        self.components
+            .iter()
+            .map(|c| c.weight * normal_cdf(x, c.mean, c.std))
+            .sum()
     }
 
     /// CDF at `x` with each component truncated at ±3σ and renormalised —
@@ -123,7 +139,11 @@ impl GaussianMixture {
         let mut prev_cdf = 0.0; // truncated CDF at -inf is 0; bucket 0 absorbs the left tail
         for k in 0..n {
             let upper = (k as f64 + 0.5) * step;
-            let cdf = if k == max_bucket { 1.0 } else { self.truncated_cdf(upper) };
+            let cdf = if k == max_bucket {
+                1.0
+            } else {
+                self.truncated_cdf(upper)
+            };
             masses.push((cdf - prev_cdf).max(0.0));
             prev_cdf = cdf;
         }
@@ -206,8 +226,16 @@ mod tests {
     #[test]
     fn weights_are_normalised() {
         let m = GaussianMixture::new(vec![
-            Component { weight: 2.0, mean: 0.0, std: 1.0 },
-            Component { weight: 6.0, mean: 5.0, std: 1.0 },
+            Component {
+                weight: 2.0,
+                mean: 0.0,
+                std: 1.0,
+            },
+            Component {
+                weight: 6.0,
+                mean: 5.0,
+                std: 1.0,
+            },
         ]);
         assert!(close(m.components()[0].weight, 0.25, 1e-12));
         assert!(close(m.components()[1].weight, 0.75, 1e-12));
@@ -216,7 +244,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "std must be positive")]
     fn rejects_nonpositive_std() {
-        let _ = GaussianMixture::new(vec![Component { weight: 1.0, mean: 0.0, std: 0.0 }]);
+        let _ = GaussianMixture::new(vec![Component {
+            weight: 1.0,
+            mean: 0.0,
+            std: 0.0,
+        }]);
     }
 
     #[test]
@@ -230,8 +262,16 @@ mod tests {
     fn mixture_moments_match_formula() {
         // 0.5·N(0,1) + 0.5·N(4,1): mean 2, var = E[σ²] + Var(μ) = 1 + 4 = 5.
         let m = GaussianMixture::new(vec![
-            Component { weight: 0.5, mean: 0.0, std: 1.0 },
-            Component { weight: 0.5, mean: 4.0, std: 1.0 },
+            Component {
+                weight: 0.5,
+                mean: 0.0,
+                std: 1.0,
+            },
+            Component {
+                weight: 0.5,
+                mean: 4.0,
+                std: 1.0,
+            },
         ]);
         assert!(close(m.mean(), 2.0, 1e-12));
         assert!(close(m.variance(), 5.0, 1e-12));
@@ -241,8 +281,16 @@ mod tests {
     fn moments_match_monte_carlo() {
         use rand::{Rng, SeedableRng};
         let m = GaussianMixture::new(vec![
-            Component { weight: 0.3, mean: 1.0, std: 0.5 },
-            Component { weight: 0.7, mean: 6.0, std: 2.0 },
+            Component {
+                weight: 0.3,
+                mean: 1.0,
+                std: 0.5,
+            },
+            Component {
+                weight: 0.7,
+                mean: 6.0,
+                std: 2.0,
+            },
         ]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let n = 200_000;
@@ -264,15 +312,33 @@ mod tests {
         }
         let mc_mean = sum / n as f64;
         let mc_var = sumsq / n as f64 - mc_mean * mc_mean;
-        assert!(close(m.mean(), mc_mean, 0.03), "{} vs {}", m.mean(), mc_mean);
-        assert!(close(m.variance(), mc_var, 0.1), "{} vs {}", m.variance(), mc_var);
+        assert!(
+            close(m.mean(), mc_mean, 0.03),
+            "{} vs {}",
+            m.mean(),
+            mc_mean
+        );
+        assert!(
+            close(m.variance(), mc_var, 0.1),
+            "{} vs {}",
+            m.variance(),
+            mc_var
+        );
     }
 
     #[test]
     fn cdf_is_monotone_and_bounded() {
         let m = GaussianMixture::new(vec![
-            Component { weight: 0.4, mean: 2.0, std: 1.0 },
-            Component { weight: 0.6, mean: 8.0, std: 2.5 },
+            Component {
+                weight: 0.4,
+                mean: 2.0,
+                std: 1.0,
+            },
+            Component {
+                weight: 0.6,
+                mean: 8.0,
+                std: 2.5,
+            },
         ]);
         let mut prev = 0.0;
         for i in -50..100 {
@@ -296,8 +362,16 @@ mod tests {
     #[test]
     fn quantize_masses_sum_to_one() {
         let m = GaussianMixture::new(vec![
-            Component { weight: 0.5, mean: 2.3, std: 0.8 },
-            Component { weight: 0.5, mean: 7.1, std: 1.4 },
+            Component {
+                weight: 0.5,
+                mean: 2.3,
+                std: 0.8,
+            },
+            Component {
+                weight: 0.5,
+                mean: 7.1,
+                std: 1.4,
+            },
         ]);
         let masses = m.quantize(1.0, 15);
         assert_eq!(masses.len(), 16);
@@ -347,8 +421,16 @@ mod tests {
     #[test]
     fn truncated_range_covers_components() {
         let m = GaussianMixture::new(vec![
-            Component { weight: 0.5, mean: 0.0, std: 1.0 },
-            Component { weight: 0.5, mean: 10.0, std: 2.0 },
+            Component {
+                weight: 0.5,
+                mean: 0.0,
+                std: 1.0,
+            },
+            Component {
+                weight: 0.5,
+                mean: 10.0,
+                std: 2.0,
+            },
         ]);
         let (lo, hi) = m.truncated_range();
         assert!(close(lo, -3.0, 1e-12));

@@ -74,8 +74,11 @@ mod tests {
         let mut x = vec![0.0f32; 3];
         let mut opt = Adam::new(0.05, 3);
         for _ in 0..2000 {
-            let grads: Vec<f32> =
-                x.iter().zip(target.iter()).map(|(xi, ti)| 2.0 * (xi - ti)).collect();
+            let grads: Vec<f32> = x
+                .iter()
+                .zip(target.iter())
+                .map(|(xi, ti)| 2.0 * (xi - ti))
+                .collect();
             opt.step(&mut x, &grads);
         }
         for (xi, ti) in x.iter().zip(target.iter()) {
@@ -107,7 +110,10 @@ mod tests {
         opt.clip = 0.0;
         let mut x = vec![1.0f32, 1.0];
         opt.step(&mut x, &[f32::NAN, 1.0]);
-        assert!((x[0] - 1.0).abs() < 1e-9, "NaN gradient must not move the param");
+        assert!(
+            (x[0] - 1.0).abs() < 1e-9,
+            "NaN gradient must not move the param"
+        );
         assert!(x[1] < 1.0, "finite gradient still applies");
         assert!(x.iter().all(|v| v.is_finite()));
     }

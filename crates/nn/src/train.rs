@@ -108,7 +108,11 @@ pub fn train_cmdn(
         }
     }
     model.set_params_flat(&best_params);
-    TrainedCmdn { model, holdout_nll: best_nll, epochs_run }
+    TrainedCmdn {
+        model,
+        holdout_nll: best_nll,
+        epochs_run,
+    }
 }
 
 /// Sums per-sample gradients over `batch` (indices into `data`), averaged by
@@ -136,7 +140,10 @@ fn parallel_batch_grads(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("grad worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grad worker panicked"))
+            .collect()
     });
     let n = batch.len() as f32;
     let mut total = partials[0].clone();
@@ -164,11 +171,16 @@ pub fn mean_nll(model: &Cmdn, data: &[Sample], threads: usize) -> f64 {
             .map(|part| {
                 scope.spawn(move || {
                     let mut worker = model.clone();
-                    part.iter().map(|(x, y)| worker.eval_nll(x, *y)).sum::<f64>()
+                    part.iter()
+                        .map(|(x, y)| worker.eval_nll(x, *y))
+                        .sum::<f64>()
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("eval worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("eval worker panicked"))
+            .collect()
     });
     sums.iter().sum::<f64>() / data.len() as f64
 }
@@ -190,7 +202,10 @@ pub fn predict_batch(model: &Cmdn, inputs: &[Vec<f32>], threads: usize) -> Vec<G
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("predict worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("predict worker panicked"))
+            .collect()
     });
     parts.into_iter().flatten().collect()
 }
@@ -207,19 +222,28 @@ pub struct HyperGrid {
 impl Default for HyperGrid {
     /// Scaled-down default grid (2 × 2 = 4 models).
     fn default() -> Self {
-        HyperGrid { gaussians: vec![3, 5], hidden: vec![24, 32] }
+        HyperGrid {
+            gaussians: vec![3, 5],
+            hidden: vec![24, 32],
+        }
     }
 }
 
 impl HyperGrid {
     /// The paper's full grid: 4 × 3 = 12 models.
     pub fn paper() -> Self {
-        HyperGrid { gaussians: vec![5, 8, 12, 15], hidden: vec![20, 30, 40] }
+        HyperGrid {
+            gaussians: vec![5, 8, 12, 15],
+            hidden: vec![20, 30, 40],
+        }
     }
 
     /// A single-model "grid" for fast tests.
     pub fn single(g: usize, h: usize) -> Self {
-        HyperGrid { gaussians: vec![g], hidden: vec![h] }
+        HyperGrid {
+            gaussians: vec![g],
+            hidden: vec![h],
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -258,17 +282,27 @@ pub fn grid_search(
     let mut total_epochs = 0usize;
     for &g in &grid.gaussians {
         for &h in &grid.hidden {
-            let cfg = CmdnConfig { num_gaussians: g, hidden: h, ..base.clone() };
+            let cfg = CmdnConfig {
+                num_gaussians: g,
+                hidden: h,
+                ..base.clone()
+            };
             let trained = train_cmdn(cfg, tcfg, train, holdout);
             evaluated.push((g, h, trained.holdout_nll));
             total_epochs += trained.epochs_run;
-            let better = best.as_ref().map_or(true, |b| trained.holdout_nll < b.holdout_nll);
+            let better = best
+                .as_ref()
+                .is_none_or(|b| trained.holdout_nll < b.holdout_nll);
             if better {
                 best = Some(trained);
             }
         }
     }
-    TrainOutcome { best: best.expect("non-empty grid"), evaluated, total_epochs }
+    TrainOutcome {
+        best: best.expect("non-empty grid"),
+        evaluated,
+        total_epochs,
+    }
 }
 
 #[cfg(test)]
@@ -372,7 +406,10 @@ mod tests {
     fn grid_search_selects_min_nll() {
         let train = brightness_dataset(150, 6);
         let holdout = brightness_dataset(50, 7);
-        let grid = HyperGrid { gaussians: vec![2, 3], hidden: vec![8] };
+        let grid = HyperGrid {
+            gaussians: vec![2, 3],
+            hidden: vec![8],
+        };
         let out = grid_search(&grid, &tiny_cfg(2, 8), &fast_tcfg(), &train, &holdout);
         assert_eq!(out.evaluated.len(), 2);
         let min = out
@@ -387,7 +424,11 @@ mod tests {
     fn early_stopping_halts() {
         let train = brightness_dataset(60, 8);
         let holdout = brightness_dataset(30, 9);
-        let tcfg = TrainConfig { epochs: 60, patience: 2, ..fast_tcfg() };
+        let tcfg = TrainConfig {
+            epochs: 60,
+            patience: 2,
+            ..fast_tcfg()
+        };
         let trained = train_cmdn(tiny_cfg(2, 8), &tcfg, &train, &holdout);
         assert!(trained.epochs_run <= 60);
     }

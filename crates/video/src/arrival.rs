@@ -199,7 +199,12 @@ impl Timeline {
             counts.push(acc as u32);
         }
 
-        Timeline { objects, counts, max_lifetime, n_frames: cfg.n_frames }
+        Timeline {
+            objects,
+            counts,
+            max_lifetime,
+            n_frames: cfg.n_frames,
+        }
     }
 
     /// Builds a timeline directly from a per-frame count sequence, placing
@@ -219,7 +224,7 @@ impl Timeline {
                 objects[i].lifetime = t - objects[i].birth;
             }
             while active.len() < c as usize {
-                let lifetime = rng.gen_range(30..120).min(n - t).max(1);
+                let lifetime = rng.gen_range(30usize..120).min(n - t).max(1);
                 objects.push(ScriptedObject {
                     id: next_id,
                     birth: t,
@@ -234,7 +239,12 @@ impl Timeline {
             }
         }
         let max_lifetime = objects.iter().map(|o| o.lifetime).max().unwrap_or(1);
-        Timeline { objects, counts: counts.to_vec(), max_lifetime, n_frames: n }
+        Timeline {
+            objects,
+            counts: counts.to_vec(),
+            max_lifetime,
+            n_frames: n,
+        }
     }
 
     pub fn n_frames(&self) -> usize {
@@ -269,7 +279,10 @@ impl Timeline {
         let lo = t.saturating_sub(self.max_lifetime);
         let start = self.objects.partition_point(|o| o.birth < lo);
         let end = self.objects.partition_point(|o| o.birth <= t);
-        self.objects[start..end].iter().filter(|o| o.alive_at(t)).collect()
+        self.objects[start..end]
+            .iter()
+            .filter(|o| o.alive_at(t))
+            .collect()
     }
 }
 
@@ -305,7 +318,10 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> ArrivalConfig {
-        ArrivalConfig { n_frames: 2_000, ..ArrivalConfig::default() }
+        ArrivalConfig {
+            n_frames: 2_000,
+            ..ArrivalConfig::default()
+        }
     }
 
     #[test]
@@ -345,11 +361,13 @@ mod tests {
             ..ArrivalConfig::default()
         };
         let tl = Timeline::generate(&cfg, 1);
-        let mean: f64 =
-            tl.counts().iter().map(|&c| c as f64).sum::<f64>() / tl.n_frames() as f64;
+        let mean: f64 = tl.counts().iter().map(|&c| c as f64).sum::<f64>() / tl.n_frames() as f64;
         // Little's law: expected concurrency == base intensity (edge effects
         // deflate it slightly; allow a generous band).
-        assert!((2.0..=4.0).contains(&mean), "mean concurrency {mean} out of band");
+        assert!(
+            (2.0..=4.0).contains(&mean),
+            "mean concurrency {mean} out of band"
+        );
     }
 
     #[test]
@@ -423,8 +441,7 @@ mod tests {
     fn poisson_mean_is_close() {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| poisson(&mut rng, 4.0) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, 4.0) as f64).sum::<f64>() / n as f64;
         assert!((mean - 4.0).abs() < 0.1, "poisson mean {mean}");
     }
 
@@ -439,8 +456,7 @@ mod tests {
     fn exponential_mean_is_close() {
         let mut rng = StdRng::seed_from_u64(6);
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| exponential(&mut rng, 50.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 50.0)).sum::<f64>() / n as f64;
         assert!((mean - 50.0).abs() < 2.5, "exponential mean {mean}");
     }
 }

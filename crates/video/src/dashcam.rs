@@ -70,7 +70,14 @@ impl Default for DashcamConfig {
 /// The two dashcam rows of Table 7, scaled 1/40.
 pub fn dashcam_datasets() -> Vec<(&'static str, DashcamConfig, u64)> {
     vec![
-        ("Dashcam-California", DashcamConfig { n_frames: 8_100, ..Default::default() }, 101),
+        (
+            "Dashcam-California",
+            DashcamConfig {
+                n_frames: 8_100,
+                ..Default::default()
+            },
+            101,
+        ),
         (
             "Dashcam-Greenport",
             DashcamConfig {
@@ -98,7 +105,11 @@ impl DashcamVideo {
         assert!(cfg.n_frames > 0);
         assert!(cfg.min_distance > 0.0 && cfg.min_distance < cfg.max_distance);
         let distance = simulate_distance(&cfg, seed);
-        DashcamVideo { cfg, seed, distance }
+        DashcamVideo {
+            cfg,
+            seed,
+            distance,
+        }
     }
 
     pub fn config(&self) -> &DashcamConfig {
@@ -165,8 +176,8 @@ fn simulate_distance(cfg: &DashcamConfig, seed: u64) -> Vec<f64> {
             }
         } else if rng.gen::<f64>() < event_prob {
             target = rng.gen_range(cfg.event_distance.0..cfg.event_distance.1);
-            event_left = (crate::arrival::exponential(&mut rng, cfg.event_mean_len) as usize)
-                .max(20);
+            event_left =
+                (crate::arrival::exponential(&mut rng, cfg.event_mean_len) as usize).max(20);
         }
         d += cfg.reversion * (target - d) + cfg.diffusion * gaussian(&mut rng);
         d = d.clamp(cfg.min_distance, cfg.max_distance);
@@ -225,7 +236,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> DashcamVideo {
-        DashcamVideo::new(DashcamConfig { n_frames: 3_000, ..Default::default() }, 5)
+        DashcamVideo::new(
+            DashcamConfig {
+                n_frames: 3_000,
+                ..Default::default()
+            },
+            5,
+        )
     }
 
     #[test]
@@ -242,7 +259,13 @@ mod tests {
 
     #[test]
     fn close_approach_events_occur() {
-        let v = DashcamVideo::new(DashcamConfig { n_frames: 8_000, ..Default::default() }, 5);
+        let v = DashcamVideo::new(
+            DashcamConfig {
+                n_frames: 8_000,
+                ..Default::default()
+            },
+            5,
+        );
         let min = (0..v.num_frames())
             .map(|t| v.lead_distance(t))
             .fold(f64::INFINITY, f64::min);

@@ -177,7 +177,9 @@ pub fn counting_datasets_small() -> Vec<DatasetSpec> {
 
 /// Looks a dataset up by (case-insensitive) name.
 pub fn dataset_by_name(name: &str) -> Option<DatasetSpec> {
-    counting_datasets().into_iter().find(|d| d.name.eq_ignore_ascii_case(name))
+    counting_datasets()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]
@@ -192,11 +194,20 @@ mod tests {
         let names: Vec<_> = cat.iter().map(|d| d.name).collect();
         assert_eq!(
             names,
-            ["Archie", "Daxi-old-street", "Grand-Canal", "Irish-Center", "Taipei-bus"]
+            [
+                "Archie",
+                "Daxi-old-street",
+                "Grand-Canal",
+                "Irish-Center",
+                "Taipei-bus"
+            ]
         );
         // Scaled counts = paper counts / scale.
         for d in &cat {
-            assert_eq!(d.n_frames, (d.paper_frames_k as usize * 1000) / d.scale as usize);
+            assert_eq!(
+                d.n_frames,
+                (d.paper_frames_k as usize * 1000) / d.scale as usize
+            );
             assert_eq!(d.arrival.n_frames, d.n_frames);
         }
     }
@@ -205,7 +216,12 @@ mod tests {
     fn moving_camera_datasets_are_the_youtube_ones() {
         for d in counting_datasets() {
             let expect_moving = d.name == "Daxi-old-street" || d.name == "Irish-Center";
-            assert_eq!(d.style == SceneStyle::MovingCamera, expect_moving, "{}", d.name);
+            assert_eq!(
+                d.style == SceneStyle::MovingCamera,
+                expect_moving,
+                "{}",
+                d.name
+            );
         }
     }
 

@@ -33,12 +33,19 @@ pub struct DiffConfig {
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { mse_threshold: 4e-4, clip_size: 30, num_threads: default_threads() }
+        DiffConfig {
+            mse_threshold: 4e-4,
+            clip_size: 30,
+            num_threads: default_threads(),
+        }
     }
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
 }
 
 /// Output of the difference detector.
@@ -63,13 +70,19 @@ impl Segments {
 
     /// Constructs from raw parts, validating the invariants.
     pub fn from_parts(retained: Vec<usize>, rep_of: Vec<u32>) -> Segments {
-        assert!(retained.windows(2).all(|w| w[0] < w[1]), "retained must be ascending");
+        assert!(
+            retained.windows(2).all(|w| w[0] < w[1]),
+            "retained must be ascending"
+        );
         assert!(
             rep_of.iter().all(|&r| (r as usize) < retained.len()),
             "rep_of out of range"
         );
         for (pos, &f) in retained.iter().enumerate() {
-            assert_eq!(rep_of[f] as usize, pos, "retained frame must represent itself");
+            assert_eq!(
+                rep_of[f] as usize, pos,
+                "retained frame must represent itself"
+            );
         }
         Segments { retained, rep_of }
     }
@@ -149,7 +162,10 @@ impl DifferenceDetector {
     pub fn run(&self, video: &dyn VideoStore) -> Segments {
         let n = video.num_frames();
         if n == 0 {
-            return Segments { retained: vec![], rep_of: vec![] };
+            return Segments {
+                retained: vec![],
+                rep_of: vec![],
+            };
         }
         let c = self.cfg.clip_size;
         let n_clips = n.div_ceil(c);
@@ -176,7 +192,10 @@ impl DifferenceDetector {
                     local
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("diff worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("diff worker panicked"))
+                .collect()
         });
 
         // Merge, preserving frame order.

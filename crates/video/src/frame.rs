@@ -19,19 +19,31 @@ impl Frame {
     /// Creates a black frame of the given dimensions.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be positive");
-        Frame { width, height, pixels: vec![0.0; width * height] }
+        Frame {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
     }
 
     /// Creates a frame filled with a constant intensity.
     pub fn filled(width: usize, height: usize, value: f32) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be positive");
-        Frame { width, height, pixels: vec![value; width * height] }
+        Frame {
+            width,
+            height,
+            pixels: vec![value; width * height],
+        }
     }
 
     /// Builds a frame from an existing pixel buffer (row-major, len = w*h).
     pub fn from_pixels(width: usize, height: usize, pixels: Vec<f32>) -> Self {
         assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
-        Frame { width, height, pixels }
+        Frame {
+            width,
+            height,
+            pixels,
+        }
     }
 
     pub fn width(&self) -> usize {

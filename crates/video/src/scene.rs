@@ -74,19 +74,25 @@ pub struct CameraMotion {
 }
 
 impl CameraMotion {
-    pub const STATIC: CameraMotion =
-        CameraMotion { pan_amplitude: 0.0, pan_period: 1.0, shake_std: 0.0 };
+    pub const STATIC: CameraMotion = CameraMotion {
+        pan_amplitude: 0.0,
+        pan_period: 1.0,
+        shake_std: 0.0,
+    };
 
     pub fn moving(pan_amplitude: f32, pan_period: f32, shake_std: f32) -> Self {
-        CameraMotion { pan_amplitude, pan_period, shake_std }
+        CameraMotion {
+            pan_amplitude,
+            pan_period,
+            shake_std,
+        }
     }
 
     fn offset_px(&self, t: usize, width: usize, rng: &mut StdRng) -> f32 {
         if self.pan_amplitude == 0.0 && self.shake_std == 0.0 {
             return 0.0;
         }
-        let pan = self.pan_amplitude
-            * (std::f32::consts::TAU * t as f32 / self.pan_period).sin();
+        let pan = self.pan_amplitude * (std::f32::consts::TAU * t as f32 / self.pan_period).sin();
         let shake = self.shake_std * gaussian(rng) as f32;
         (pan + shake) * width as f32
     }
@@ -133,7 +139,13 @@ pub struct SyntheticVideo {
 impl SyntheticVideo {
     pub fn new(cfg: SceneConfig, timeline: Timeline, seed: u64, fps: f64) -> Self {
         let texture = render_texture(&cfg, seed);
-        SyntheticVideo { cfg, seed, fps, timeline, texture }
+        SyntheticVideo {
+            cfg,
+            seed,
+            fps,
+            timeline,
+            texture,
+        }
     }
 
     pub fn config(&self) -> &SceneConfig {
@@ -207,8 +219,7 @@ impl VideoStore for SyntheticVideo {
         let mut frame = Frame::new(w, h);
         for y in 0..h {
             for x in 0..w {
-                let sx =
-                    (x as f32 + offset).rem_euclid(tex_w as f32).floor() as usize % tex_w;
+                let sx = (x as f32 + offset).rem_euclid(tex_w as f32).floor() as usize % tex_w;
                 frame.set(x, y, self.texture.get(sx, y));
             }
         }
@@ -237,8 +248,9 @@ fn render_texture(cfg: &SceneConfig, seed: u64) -> Frame {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef_cafe_f00d);
     let cells_x = 8.max(tex_w / 8);
     let cells_y = 8.max(tex_h / 8);
-    let grid: Vec<f32> =
-        (0..(cells_x + 1) * (cells_y + 1)).map(|_| rng.gen::<f32>()).collect();
+    let grid: Vec<f32> = (0..(cells_x + 1) * (cells_y + 1))
+        .map(|_| rng.gen::<f32>())
+        .collect();
     let mut tex = Frame::new(tex_w, tex_h);
     for y in 0..tex_h {
         let gy = y as f32 / tex_h as f32 * cells_y as f32;
@@ -254,7 +266,11 @@ fn render_texture(cfg: &SceneConfig, seed: u64) -> Frame {
                 + i(cx, cy + 1) * (1.0 - fx) * fy
                 + i(cx + 1, cy + 1) * fx * fy;
             let gradient = 0.35 - 0.15 * (y as f32 / tex_h as f32);
-            tex.set(x, y, (gradient + cfg.background_contrast * (v - 0.5)).clamp(0.0, 1.0));
+            tex.set(
+                x,
+                y,
+                (gradient + cfg.background_contrast * (v - 0.5)).clamp(0.0, 1.0),
+            );
         }
     }
     tex
@@ -290,7 +306,10 @@ mod tests {
     fn tiny_video(seed: u64) -> SyntheticVideo {
         let cfg = SceneConfig::default();
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 600, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 600,
+                ..ArrivalConfig::default()
+            },
             seed,
         );
         SyntheticVideo::new(cfg, tl, seed, 30.0)
@@ -362,13 +381,19 @@ mod tests {
         let v = tiny_video(29);
         let near = v.frame(200).mse(&v.frame(201));
         let far = v.frame(200).mse(&v.frame(500));
-        assert!(near < far, "temporal locality violated: near={near} far={far}");
+        assert!(
+            near < far,
+            "temporal locality violated: near={near} far={far}"
+        );
     }
 
     #[test]
     fn moving_camera_increases_frame_difference() {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 300, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 300,
+                ..ArrivalConfig::default()
+            },
             77,
         );
         let fixed = SyntheticVideo::new(SceneConfig::default(), tl.clone(), 77, 30.0);
@@ -381,10 +406,12 @@ mod tests {
             77,
             30.0,
         );
-        let mse_fixed: f32 =
-            (0..20).map(|t| fixed.frame(t).mse(&fixed.frame(t + 1))).sum();
-        let mse_moving: f32 =
-            (0..20).map(|t| moving.frame(t).mse(&moving.frame(t + 1))).sum();
+        let mse_fixed: f32 = (0..20)
+            .map(|t| fixed.frame(t).mse(&fixed.frame(t + 1)))
+            .sum();
+        let mse_moving: f32 = (0..20)
+            .map(|t| moving.frame(t).mse(&moving.frame(t + 1)))
+            .sum();
         assert!(
             mse_moving > mse_fixed,
             "camera motion should raise inter-frame MSE ({mse_moving} vs {mse_fixed})"

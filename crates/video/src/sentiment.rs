@@ -128,7 +128,7 @@ impl VideoStore for SentimentVideo {
         assert!(t < self.cfg.n_frames);
         let (w, h) = (self.cfg.width, self.cfg.height);
         let mood = (self.mood[t] / 10.0) as f32; // 0..1
-        // Happy scenes are brighter overall…
+                                                 // Happy scenes are brighter overall…
         let mut frame = Frame::filled(w, h, 0.2 + 0.25 * mood);
         // …and feature a larger centred "face" blob.
         let size = (0.2 + 0.5 * mood) * w.min(h) as f32;
@@ -154,7 +154,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> SentimentVideo {
-        SentimentVideo::new(SentimentConfig { n_frames: 4_000, ..Default::default() }, 8)
+        SentimentVideo::new(
+            SentimentConfig {
+                n_frames: 4_000,
+                ..Default::default()
+            },
+            8,
+        )
     }
 
     #[test]
@@ -168,7 +174,9 @@ mod tests {
     #[test]
     fn highlight_events_occur() {
         let v = tiny();
-        let max = (0..v.num_frames()).map(|t| v.happiness(t)).fold(0.0, f64::max);
+        let max = (0..v.num_frames())
+            .map(|t| v.happiness(t))
+            .fold(0.0, f64::max);
         assert!(max > 6.0, "no highlight generated (max mood {max})");
     }
 

@@ -7,7 +7,6 @@
 //! exactly that, so the prefetching optimisation has something real to
 //! optimise against in simulated time.
 
-
 use crate::frame::Frame;
 use serde::{Deserialize, Serialize};
 
@@ -39,7 +38,10 @@ pub struct InMemoryVideo {
 
 impl InMemoryVideo {
     pub fn new(frames: Vec<Frame>, fps: f64) -> Self {
-        assert!(!frames.is_empty(), "in-memory video needs at least one frame");
+        assert!(
+            !frames.is_empty(),
+            "in-memory video needs at least one frame"
+        );
         let (w, h) = (frames[0].width(), frames[0].height());
         assert!(
             frames.iter().all(|f| f.width() == w && f.height() == h),
@@ -89,7 +91,10 @@ pub struct DecodeCostModel {
 impl Default for DecodeCostModel {
     fn default() -> Self {
         // 0.4 ms/frame sequential decode, keyframe every 48 frames.
-        DecodeCostModel { seq_cost: 0.4e-3, gop: 48 }
+        DecodeCostModel {
+            seq_cost: 0.4e-3,
+            gop: 48,
+        }
     }
 }
 

@@ -96,7 +96,12 @@ impl VisualRoadVideo {
             })
             .collect();
         let background = road_background(&cfg, seed);
-        VisualRoadVideo { cfg, seed, cars, background }
+        VisualRoadVideo {
+            cfg,
+            seed,
+            cars,
+            background,
+        }
     }
 
     pub fn config(&self) -> &VisualRoadConfig {
@@ -184,7 +189,11 @@ fn road_background(cfg: &VisualRoadConfig, seed: u64) -> Frame {
     let mut f = Frame::new(cfg.width, cfg.height);
     for y in 0..cfg.height {
         let fy = y as f32 / cfg.height as f32;
-        let base = if (0.2..0.85).contains(&fy) { 0.22 } else { 0.32 };
+        let base = if (0.2..0.85).contains(&fy) {
+            0.22
+        } else {
+            0.32
+        };
         for x in 0..cfg.width {
             let texture: f32 = rng.gen_range(-0.02..0.02);
             f.set(x, y, (base + texture).clamp(0.0, 1.0));
@@ -204,7 +213,11 @@ mod tests {
 
     fn tiny(total_cars: usize) -> VisualRoadVideo {
         VisualRoadVideo::new(
-            VisualRoadConfig { total_cars, n_frames: 500, ..VisualRoadConfig::default() },
+            VisualRoadConfig {
+                total_cars,
+                n_frames: 500,
+                ..VisualRoadConfig::default()
+            },
             9,
         )
     }
@@ -217,16 +230,21 @@ mod tests {
             v.counts().iter().map(|&c| c as f64).sum::<f64>() / v.num_frames() as f64
         };
         let (ms, md) = (mean(&sparse), mean(&dense));
-        assert!(md > ms * 3.0, "density should scale with population: {ms} vs {md}");
+        assert!(
+            md > ms * 3.0,
+            "density should scale with population: {ms} vs {md}"
+        );
     }
 
     #[test]
     fn expected_visible_fraction() {
         let v = tiny(100);
-        let mean =
-            v.counts().iter().map(|&c| c as f64).sum::<f64>() / v.num_frames() as f64;
+        let mean = v.counts().iter().map(|&c| c as f64).sum::<f64>() / v.num_frames() as f64;
         // E[visible] = total × view/road = 100 × 100/2500 = 4.
-        assert!((2.0..6.0).contains(&mean), "mean visible {mean} out of band");
+        assert!(
+            (2.0..6.0).contains(&mean),
+            "mean visible {mean} out of band"
+        );
     }
 
     #[test]
@@ -241,7 +259,11 @@ mod tests {
     fn frames_deterministic_and_in_range() {
         let v = tiny(60);
         assert_eq!(v.frame(42), v.frame(42));
-        assert!(v.frame(42).pixels().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(v
+            .frame(42)
+            .pixels()
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p)));
     }
 
     #[test]
@@ -254,7 +276,7 @@ mod tests {
         let v = VisualRoadVideo::new(cfg, 3);
         // A single car must be visible at some frames and invisible at others.
         let counts: Vec<u32> = (0..20_000).step_by(50).map(|t| v.count_at(t)).collect();
-        assert!(counts.iter().any(|&c| c == 1));
-        assert!(counts.iter().any(|&c| c == 0));
+        assert!(counts.contains(&1));
+        assert!(counts.contains(&0));
     }
 }

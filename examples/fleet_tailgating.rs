@@ -17,7 +17,10 @@ use everest::video::dashcam::{DashcamConfig, DashcamVideo};
 
 fn main() {
     let video = DashcamVideo::new(
-        DashcamConfig { n_frames: 6_000, ..DashcamConfig::default() },
+        DashcamConfig {
+            n_frames: 6_000,
+            ..DashcamConfig::default()
+        },
         2_024,
     );
     let oracle = InstrumentedOracle::new(depth_oracle(&video));
@@ -26,8 +29,14 @@ fn main() {
     let phase1 = Phase1Config {
         sample_frac: 0.06,
         sample_cap: 360,
-        grid: HyperGrid { gaussians: vec![3, 5], hidden: vec![16] },
-        train: TrainConfig { epochs: 12, ..TrainConfig::default() },
+        grid: HyperGrid {
+            gaussians: vec![3, 5],
+            hidden: vec![16],
+        },
+        train: TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        },
         // tailgating degree is continuous: the UDF supplies the step
         quant_step: TAILGATING_QUANTIZATION_STEP,
         ..Phase1Config::default()

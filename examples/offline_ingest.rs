@@ -33,7 +33,10 @@ use std::time::Instant;
 fn main() {
     let n_frames = 3_000;
     let timeline = Timeline::generate(
-        &ArrivalConfig { n_frames, ..ArrivalConfig::default() },
+        &ArrivalConfig {
+            n_frames,
+            ..ArrivalConfig::default()
+        },
         2024,
     );
     let video = SyntheticVideo::new(SceneConfig::default(), timeline, 2024, 30.0);
@@ -45,7 +48,10 @@ fn main() {
         sample_cap: 400,
         sample_min: 200,
         grid: HyperGrid::single(3, 16),
-        train: TrainConfig { epochs: 8, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        },
         conv_channels: vec![6, 12],
         quant_step: 1.0,
         seed: 7,
@@ -75,7 +81,11 @@ fn main() {
         .expect("valid index");
     let load_wall = t1.elapsed();
 
-    let cfg = CleanerConfig { k: 10, thres: 0.9, ..Default::default() };
+    let cfg = CleanerConfig {
+        k: 10,
+        thres: 0.9,
+        ..Default::default()
+    };
     let t2 = Instant::now();
     let answer = restored.query_topk(&oracle, 10, 0.9, &cfg);
     let query_wall = t2.elapsed();
@@ -97,7 +107,11 @@ fn main() {
 
     // The restored pipeline must agree with the fresh one exactly.
     let fresh = prepared.query_topk(&oracle, 10, 0.9, &cfg);
-    assert_eq!(fresh.frames(), answer.frames(), "restored index changed the answer");
+    assert_eq!(
+        fresh.frames(),
+        answer.frames(),
+        "restored index changed the answer"
+    );
     assert_eq!(fresh.confidence, answer.confidence);
     println!("fresh-vs-restored agreement: identical answers ✓");
 

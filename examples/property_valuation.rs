@@ -50,8 +50,14 @@ fn main() {
     let phase1 = Phase1Config {
         sample_frac: 0.05,
         sample_cap: 400,
-        grid: HyperGrid { gaussians: vec![3, 5], hidden: vec![16] },
-        train: TrainConfig { epochs: 12, ..TrainConfig::default() },
+        grid: HyperGrid {
+            gaussians: vec![3, 5],
+            hidden: vec![16],
+        },
+        train: TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        },
         ..Phase1Config::default()
     };
     let prepared = Everest::prepare(&video, &oracle, &phase1);

@@ -56,7 +56,10 @@ fn paper_running_example() {
 fn end_to_end_query() {
     println!("=== End-to-end Top-5 query (thres = 0.9) ===");
     let timeline = Timeline::generate(
-        &ArrivalConfig { n_frames: 2_000, ..ArrivalConfig::default() },
+        &ArrivalConfig {
+            n_frames: 2_000,
+            ..ArrivalConfig::default()
+        },
         42,
     );
     let video = SyntheticVideo::new(SceneConfig::default(), timeline, 42, 30.0);
@@ -67,7 +70,10 @@ fn end_to_end_query() {
         sample_cap: 200,
         sample_min: 32,
         grid: HyperGrid::single(3, 16),
-        train: TrainConfig { epochs: 10, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
         conv_channels: vec![8, 16],
         ..Phase1Config::default()
     };
@@ -82,12 +88,19 @@ fn end_to_end_query() {
         100.0 * report.pct_cleaned()
     );
     println!("iterations  = {}", report.iterations);
-    println!("sim latency = {:.1}s  (scan-and-test would be {:.1}s)",
+    println!(
+        "sim latency = {:.1}s  (scan-and-test would be {:.1}s)",
         report.sim_seconds(),
-        video_scan_cost(&oracle));
+        video_scan_cost(&oracle)
+    );
     println!("Top-5 moments (frame, cars):");
     for (rank, item) in report.items.iter().enumerate() {
-        println!("  #{:<2} frame {:>5}  score {}", rank + 1, item.frame, item.score);
+        println!(
+            "  #{:<2} frame {:>5}  score {}",
+            rank + 1,
+            item.frame,
+            item.score
+        );
     }
 }
 

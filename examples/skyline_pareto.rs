@@ -21,9 +21,7 @@
 //!     **once** and yields both dimensions.
 
 use everest::core::phase1::Phase1Config;
-use everest::core::skyline::{
-    run_skyline_cleaner, zip_relations, SkylineConfig, SkylineOracle,
-};
+use everest::core::skyline::{run_skyline_cleaner, zip_relations, SkylineConfig, SkylineOracle};
 use everest::models::{counting_oracle, coverage_oracle, Oracle};
 use everest::nn::train::TrainConfig;
 use everest::nn::HyperGrid;
@@ -55,10 +53,8 @@ impl SkylineOracle for DualScoreOracle<'_> {
             .zip(&covers)
             .map(|(&c, &a)| {
                 vec![
-                    ((c / self.steps.0).round().max(0.0) as usize).min(self.max_buckets.0)
-                        as u32,
-                    ((a / self.steps.1).round().max(0.0) as usize).min(self.max_buckets.1)
-                        as u32,
+                    ((c / self.steps.0).round().max(0.0) as usize).min(self.max_buckets.0) as u32,
+                    ((a / self.steps.1).round().max(0.0) as usize).min(self.max_buckets.1) as u32,
                 ]
             })
             .collect()
@@ -69,7 +65,11 @@ fn main() {
     // A moderately busy fixed-camera traffic scene with known ground truth.
     let n_frames = 4_000;
     let timeline = Timeline::generate(
-        &ArrivalConfig { n_frames, base_intensity: 2.0, ..ArrivalConfig::default() },
+        &ArrivalConfig {
+            n_frames,
+            base_intensity: 2.0,
+            ..ArrivalConfig::default()
+        },
         1234,
     );
     let video = SyntheticVideo::new(SceneConfig::default(), timeline, 1234, 30.0);
@@ -86,7 +86,10 @@ fn main() {
         sample_cap: 1_000,
         sample_min: 200,
         grid: HyperGrid::single(3, 16),
-        train: TrainConfig { epochs: 25, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        },
         conv_channels: vec![8, 16],
         quant_step: step,
         seed,
@@ -102,8 +105,7 @@ fn main() {
         "same video + same difference detector → same retained frames"
     );
 
-    let mut rel =
-        zip_relations(&[&prep_count.phase1.relation, &prep_cover.phase1.relation]);
+    let mut rel = zip_relations(&[&prep_count.phase1.relation, &prep_cover.phase1.relation]);
     let retained = prep_count.phase1.segments.retained();
     println!(
         "zipped VectorRelation: {} items ({} already certain from sampling)",
@@ -115,7 +117,10 @@ fn main() {
         count: &count,
         coverage: &coverage,
         retained,
-        steps: (prep_count.phase1.relation.step(), prep_cover.phase1.relation.step()),
+        steps: (
+            prep_count.phase1.relation.step(),
+            prep_cover.phase1.relation.step(),
+        ),
         max_buckets: (
             prep_count.phase1.relation.max_bucket(),
             prep_cover.phase1.relation.max_bucket(),
@@ -126,7 +131,11 @@ fn main() {
     let outcome = run_skyline_cleaner(
         &mut rel,
         &mut oracle,
-        &SkylineConfig { thres: 0.95, batch_size: 8, max_cleanings: None },
+        &SkylineConfig {
+            thres: 0.95,
+            batch_size: 8,
+            max_cleanings: None,
+        },
     );
 
     println!(

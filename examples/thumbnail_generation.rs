@@ -7,9 +7,7 @@
 use everest::core::cleaner::CleanerConfig;
 use everest::core::phase1::Phase1Config;
 use everest::core::pipeline::Everest;
-use everest::models::sentiment::{
-    sentiment_oracle, HAPPINESS_QUANTIZATION_STEP,
-};
+use everest::models::sentiment::{sentiment_oracle, HAPPINESS_QUANTIZATION_STEP};
 use everest::models::{InstrumentedOracle, Oracle};
 use everest::nn::train::TrainConfig;
 use everest::nn::HyperGrid;
@@ -17,7 +15,10 @@ use everest::video::sentiment::{SentimentConfig, SentimentVideo};
 
 fn main() {
     let video = SentimentVideo::new(
-        SentimentConfig { n_frames: 6_000, ..SentimentConfig::default() },
+        SentimentConfig {
+            n_frames: 6_000,
+            ..SentimentConfig::default()
+        },
         77,
     );
     let oracle = InstrumentedOracle::new(sentiment_oracle(&video));
@@ -26,8 +27,14 @@ fn main() {
     let phase1 = Phase1Config {
         sample_frac: 0.06,
         sample_cap: 360,
-        grid: HyperGrid { gaussians: vec![3, 5], hidden: vec![16] },
-        train: TrainConfig { epochs: 12, ..TrainConfig::default() },
+        grid: HyperGrid {
+            gaussians: vec![3, 5],
+            hidden: vec![16],
+        },
+        train: TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        },
         quant_step: HAPPINESS_QUANTIZATION_STEP,
         ..Phase1Config::default()
     };

@@ -26,7 +26,11 @@ fn main() {
         5,
     );
     let video = SyntheticVideo::new(
-        SceneConfig { width: 64, height: 64, ..SceneConfig::default() },
+        SceneConfig {
+            width: 64,
+            height: 64,
+            ..SceneConfig::default()
+        },
         timeline,
         5,
         30.0,
@@ -52,7 +56,11 @@ fn main() {
     }
 
     let frames = detector.num_frames();
-    println!("\nrelation size: {} tuples over {} frames", relation.len(), frames);
+    println!(
+        "\nrelation size: {} tuples over {} frames",
+        relation.len(),
+        frames
+    );
     println!("distinct tracked objects: {}", relation.distinct_objects());
     println!(
         "ground-truth objects:     {}",

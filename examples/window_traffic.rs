@@ -33,11 +33,20 @@ fn main() {
     let phase1 = Phase1Config {
         sample_frac: 0.05,
         sample_cap: 450,
-        grid: HyperGrid { gaussians: vec![3, 5], hidden: vec![16] },
-        train: TrainConfig { epochs: 12, ..TrainConfig::default() },
+        grid: HyperGrid {
+            gaussians: vec![3, 5],
+            hidden: vec![16],
+        },
+        train: TrainConfig {
+            epochs: 12,
+            ..TrainConfig::default()
+        },
         ..Phase1Config::default()
     };
-    println!("Building the window relation over {} windows…", n_frames / window_len);
+    println!(
+        "Building the window relation over {} windows…",
+        n_frames / window_len
+    );
     let prepared = Everest::prepare(&video, &oracle, &phase1);
     let report = prepared.query_topk_windows(
         &oracle,
@@ -48,10 +57,7 @@ fn main() {
         &CleanerConfig::default(),
     );
 
-    let exact = exact_window_scores(
-        oracle.inner().all_scores(),
-        &prepared.windows(window_len),
-    );
+    let exact = exact_window_scores(oracle.inner().all_scores(), &prepared.windows(window_len));
     println!("\nTop-5 five-second windows by average car count:");
     println!("  rank     window      avg cars (sampled)   avg cars (exact)");
     for (rank, item) in report.items.iter().enumerate() {

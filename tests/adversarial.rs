@@ -5,9 +5,7 @@
 
 use everest::core::cleaner::{run_cleaner, CleanerConfig, FnCleaningOracle};
 use everest::core::dist::DiscreteDist;
-use everest::core::skyline::{
-    run_skyline_cleaner, SkylineConfig, SkylineOracle, VectorRelation,
-};
+use everest::core::skyline::{run_skyline_cleaner, SkylineConfig, SkylineOracle, VectorRelation};
 use everest::core::xtuple::{ItemId, UncertainRelation};
 
 const MAX_B: usize = 10;
@@ -43,7 +41,11 @@ fn cleaner_survives_a_lying_proxy() {
     let t = truth(n);
     let mut rel = adversarial_relation(&t);
     let mut oracle = FnCleaningOracle(|id: ItemId| t[id]);
-    let cfg = CleanerConfig { k: 5, thres: 0.9, ..Default::default() };
+    let cfg = CleanerConfig {
+        k: 5,
+        thres: 0.9,
+        ..Default::default()
+    };
     let out = run_cleaner(&mut rel, &mut oracle, &cfg);
 
     // Must terminate, converge (w.r.t. the *modeled* relation), and
@@ -85,7 +87,11 @@ fn lying_proxy_costs_work_but_not_correctness() {
         masses[b as usize] = 1.0;
         honest.push_uncertain(DiscreteDist::from_masses(&masses));
     }
-    let cfg = CleanerConfig { k: 5, thres: 0.9, ..Default::default() };
+    let cfg = CleanerConfig {
+        k: 5,
+        thres: 0.9,
+        ..Default::default()
+    };
     let mut o1 = FnCleaningOracle(|id: ItemId| t[id]);
     let out_lying = run_cleaner(&mut lying, &mut o1, &cfg);
     let mut o2 = FnCleaningOracle(|id: ItemId| t[id]);
@@ -98,7 +104,11 @@ fn lying_proxy_costs_work_but_not_correctness() {
     for &id in &out_honest.topk {
         assert!(t[id] >= kth);
     }
-    assert!(out_honest.cleaned <= 10, "honest proxy cleaned {}", out_honest.cleaned);
+    assert!(
+        out_honest.cleaned <= 10,
+        "honest proxy cleaned {}",
+        out_honest.cleaned
+    );
 }
 
 #[test]
@@ -118,7 +128,11 @@ fn all_ties_relation_terminates() {
     let out = run_cleaner(
         &mut rel,
         &mut oracle,
-        &CleanerConfig { k: 10, thres: 0.95, ..Default::default() },
+        &CleanerConfig {
+            k: 10,
+            thres: 0.95,
+            ..Default::default()
+        },
     );
     assert!(out.converged);
     assert_eq!(out.topk.len(), 10);
@@ -134,7 +148,11 @@ fn k_equals_n_cleans_everything_and_reaches_certainty() {
     let out = run_cleaner(
         &mut rel,
         &mut oracle,
-        &CleanerConfig { k: n, thres: 0.99, ..Default::default() },
+        &CleanerConfig {
+            k: n,
+            thres: 0.99,
+            ..Default::default()
+        },
     );
     assert!(out.converged);
     assert_eq!(out.topk.len(), n);
@@ -151,7 +169,11 @@ fn k_equals_one_with_extreme_threshold() {
     let out = run_cleaner(
         &mut rel,
         &mut oracle,
-        &CleanerConfig { k: 1, thres: 0.999, ..Default::default() },
+        &CleanerConfig {
+            k: 1,
+            thres: 0.999,
+            ..Default::default()
+        },
     );
     assert!(out.converged);
     assert!(out.confidence >= 0.999);
@@ -167,7 +189,12 @@ fn max_cleanings_zero_reports_non_convergence_immediately() {
     let out = run_cleaner(
         &mut rel,
         &mut oracle,
-        &CleanerConfig { k: 3, thres: 0.9, max_cleanings: Some(0), ..Default::default() },
+        &CleanerConfig {
+            k: 3,
+            thres: 0.9,
+            max_cleanings: Some(0),
+            ..Default::default()
+        },
     );
     assert!(!out.converged);
     assert_eq!(out.cleaned, 0);
@@ -182,7 +209,12 @@ fn batch_size_larger_than_relation_is_safe() {
     let out = run_cleaner(
         &mut rel,
         &mut oracle,
-        &CleanerConfig { k: 2, thres: 0.9, batch_size: 1_000, ..Default::default() },
+        &CleanerConfig {
+            k: 2,
+            thres: 0.9,
+            batch_size: 1_000,
+            ..Default::default()
+        },
     );
     assert!(out.converged);
     assert!(out.cleaned <= n);
@@ -205,7 +237,12 @@ fn skyline_survives_a_lying_proxy() {
     let n = 30;
     let max_b = 6usize;
     let truth: Vec<Vec<u32>> = (0..n)
-        .map(|i| vec![((i * 5 + 1) % (max_b + 1)) as u32, ((i * 3 + 2) % (max_b + 1)) as u32])
+        .map(|i| {
+            vec![
+                ((i * 5 + 1) % (max_b + 1)) as u32,
+                ((i * 3 + 2) % (max_b + 1)) as u32,
+            ]
+        })
         .collect();
     let mut rel = VectorRelation::new(vec![max_b, max_b]);
     for v in &truth {
@@ -215,16 +252,19 @@ fn skyline_survives_a_lying_proxy() {
             masses[wrong as usize] = 1.0;
             DiscreteDist::from_masses(&masses)
         };
-        rel.push_uncertain(vec![
-            dist(max_b as u32 - v[0]),
-            dist(max_b as u32 - v[1]),
-        ]);
+        rel.push_uncertain(vec![dist(max_b as u32 - v[0]), dist(max_b as u32 - v[1])]);
     }
-    let mut oracle = TableSkyOracle { truth: truth.clone() };
+    let mut oracle = TableSkyOracle {
+        truth: truth.clone(),
+    };
     let out = run_skyline_cleaner(
         &mut rel,
         &mut oracle,
-        &SkylineConfig { thres: 0.9, batch_size: 4, max_cleanings: None },
+        &SkylineConfig {
+            thres: 0.9,
+            batch_size: 4,
+            max_cleanings: None,
+        },
     );
     assert!(out.converged);
     assert!(out.confidence >= 0.9);
@@ -241,8 +281,8 @@ fn skyline_survives_a_lying_proxy() {
 
 #[test]
 fn window_oracle_clamps_out_of_grid_scores() {
-    use everest::core::window::{tumbling_windows, WindowCleaningOracle};
     use everest::core::cleaner::CleaningOracle;
+    use everest::core::window::{tumbling_windows, WindowCleaningOracle};
     use everest::models::ExactScoreOracle;
 
     // Scores far beyond the bucket grid must clamp, not panic.
@@ -251,13 +291,16 @@ fn window_oracle_clamps_out_of_grid_scores() {
     let ws = tumbling_windows(30, 10);
     let mut wo = WindowCleaningOracle::new(&oracle, &ws, 1.0, 1.0, 8, 1);
     let buckets = wo.clean_batch(&[0, 1, 2]);
-    assert!(buckets.iter().all(|&b| b == 8), "clamped to max bucket: {buckets:?}");
+    assert!(
+        buckets.iter().all(|&b| b == 8),
+        "clamped to max bucket: {buckets:?}"
+    );
 }
 
 #[test]
 fn negative_scores_clamp_to_bucket_zero() {
-    use everest::core::window::{tumbling_windows, WindowCleaningOracle};
     use everest::core::cleaner::CleaningOracle;
+    use everest::core::window::{tumbling_windows, WindowCleaningOracle};
     use everest::models::ExactScoreOracle;
 
     let scores: Vec<f64> = (0..20).map(|i| -5.0 - i as f64).collect();
@@ -265,7 +308,10 @@ fn negative_scores_clamp_to_bucket_zero() {
     let ws = tumbling_windows(20, 5);
     let mut wo = WindowCleaningOracle::new(&oracle, &ws, 1.0, 1.0, 8, 1);
     let buckets = wo.clean_batch(&[0, 1]);
-    assert!(buckets.iter().all(|&b| b == 0), "clamped to zero: {buckets:?}");
+    assert!(
+        buckets.iter().all(|&b| b == 0),
+        "clamped to zero: {buckets:?}"
+    );
 }
 
 #[test]
@@ -280,7 +326,10 @@ fn truncated_or_mangled_ingest_files_error_instead_of_panicking() {
     use everest::video::scene::{SceneConfig, SyntheticVideo};
 
     let tl = Timeline::generate(
-        &ArrivalConfig { n_frames: 600, ..ArrivalConfig::default() },
+        &ArrivalConfig {
+            n_frames: 600,
+            ..ArrivalConfig::default()
+        },
         31,
     );
     let video = SyntheticVideo::new(SceneConfig::default(), tl, 31, 30.0);
@@ -293,7 +342,10 @@ fn truncated_or_mangled_ingest_files_error_instead_of_panicking() {
             sample_cap: 80,
             sample_min: 32,
             grid: HyperGrid::single(2, 8),
-            train: TrainConfig { epochs: 2, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
             conv_channels: vec![4],
             threads: 2,
             ..Phase1Config::default()

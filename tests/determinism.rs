@@ -17,7 +17,10 @@ use everest::video::VideoStore;
 fn same_seed_same_everything() {
     let build = || {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 1_000, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 1_000,
+                ..ArrivalConfig::default()
+            },
             5,
         );
         SyntheticVideo::new(SceneConfig::default(), tl, 5, 30.0)
@@ -45,7 +48,10 @@ fn different_seed_different_video() {
 fn full_query_is_reproducible() {
     let run = || {
         let tl = Timeline::generate(
-            &ArrivalConfig { n_frames: 1_200, ..ArrivalConfig::default() },
+            &ArrivalConfig {
+                n_frames: 1_200,
+                ..ArrivalConfig::default()
+            },
             37,
         );
         let v = SyntheticVideo::new(SceneConfig::default(), tl, 37, 30.0);
@@ -53,9 +59,12 @@ fn full_query_is_reproducible() {
         let phase1 = Phase1Config {
             sample_frac: 0.1,
             sample_cap: 120,
-        sample_min: 32,
+            sample_min: 32,
             grid: HyperGrid::single(2, 12),
-            train: TrainConfig { epochs: 6, ..TrainConfig::default() },
+            train: TrainConfig {
+                epochs: 6,
+                ..TrainConfig::default()
+            },
             conv_channels: vec![6, 12],
             threads: 4,
             ..Phase1Config::default()

@@ -25,7 +25,14 @@ fn arb_dataset() -> impl Strategy<Value = &'static str> {
 
 fn arb_engine() -> impl Strategy<Value = &'static str> {
     prop::sample::select(vec![
-        "everest", "scan", "oracle", "cmdn", "hog", "tinyyolo", "noscope", "select_topk",
+        "everest",
+        "scan",
+        "oracle",
+        "cmdn",
+        "hog",
+        "tinyyolo",
+        "noscope",
+        "select_topk",
     ])
 }
 
@@ -53,18 +60,15 @@ fn arb_query() -> impl Strategy<Value = QuerySpec> {
         any::<bool>(),
     )
         .prop_map(
-            |(k, window, dataset, engine, confidence, seed, whitespace, lowercase_kw)| {
-                QuerySpec {
-                    k,
-                    window: window
-                        .map(|(len, slide)| (len, slide.map(|s| s.min(len).max(1)))),
-                    dataset,
-                    engine,
-                    confidence,
-                    seed,
-                    whitespace,
-                    lowercase_kw,
-                }
+            |(k, window, dataset, engine, confidence, seed, whitespace, lowercase_kw)| QuerySpec {
+                k,
+                window: window.map(|(len, slide)| (len, slide.map(|s| s.min(len).max(1)))),
+                dataset,
+                engine,
+                confidence,
+                seed,
+                whitespace,
+                lowercase_kw,
             },
         )
 }

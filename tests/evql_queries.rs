@@ -14,7 +14,10 @@ fn fast_session() -> Session {
 }
 
 fn rows(session: &mut Session, q: &str) -> everest::evql::QueryOutput {
-    match session.execute(q).unwrap_or_else(|e| panic!("{}", e.render(q))) {
+    match session
+        .execute(q)
+        .unwrap_or_else(|e| panic!("{}", e.render(q)))
+    {
         Output::Rows(o) => o,
         other => panic!("expected rows for {q}, got {other:?}"),
     }
@@ -24,7 +27,10 @@ fn rows(session: &mut Session, q: &str) -> everest::evql::QueryOutput {
 fn everest_and_scan_agree_on_the_top_frames() {
     let mut s = fast_session();
     let everest = rows(&mut s, "SELECT TOP 10 FRAMES FROM Archie WITH SEED 11");
-    let scan = rows(&mut s, "SELECT TOP 10 FRAMES FROM Archie USING scan WITH SEED 11");
+    let scan = rows(
+        &mut s,
+        "SELECT TOP 10 FRAMES FROM Archie USING scan WITH SEED 11",
+    );
 
     assert!(everest.stats.confidence.unwrap() >= 0.9);
     assert_eq!(everest.stats.converged, Some(true));
@@ -61,7 +67,11 @@ fn window_query_via_evql_meets_guarantee() {
     assert!(out.stats.confidence.unwrap() >= 0.9);
     for row in &out.rows {
         assert!(row.end_frame - row.start_frame <= 50);
-        assert_eq!(row.start_frame % 50, 0, "tumbling windows start on boundaries");
+        assert_eq!(
+            row.start_frame % 50,
+            0,
+            "tumbling windows start on boundaries"
+        );
     }
 }
 
@@ -74,7 +84,11 @@ fn sliding_window_query_offsets_are_on_the_slide_grid() {
     );
     assert_eq!(out.rows.len(), 3);
     for row in &out.rows {
-        assert_eq!(row.start_frame % 20, 0, "sliding window starts on the slide grid");
+        assert_eq!(
+            row.start_frame % 20,
+            0,
+            "sliding window starts on the slide grid"
+        );
     }
 }
 
@@ -86,7 +100,10 @@ fn baseline_engines_run_through_evql() {
         let out = rows(&mut s, &q);
         assert_eq!(out.rows.len(), 10, "{engine}");
         assert!(out.stats.quality.is_some(), "{engine}");
-        assert!(out.stats.confidence.is_none(), "{engine} gives no guarantee");
+        assert!(
+            out.stats.confidence.is_none(),
+            "{engine} gives no guarantee"
+        );
     }
 }
 
@@ -99,13 +116,19 @@ fn phase1_cache_shared_between_frame_and_window_queries() {
         &mut s,
         "SELECT TOP 3 WINDOWS OF 50 FRAMES FROM Archie WITH SAMPLE 0.5, SEED 11",
     );
-    assert!(windows.stats.phase1_cached, "window query reuses the frame query's Phase 1");
+    assert!(
+        windows.stats.phase1_cached,
+        "window query reuses the frame query's Phase 1"
+    );
 }
 
 #[test]
 fn continuous_udf_query_runs_with_its_default_step() {
     let mut s = fast_session();
-    let out = rows(&mut s, "SELECT TOP 5 FRAMES FROM Dashcam-California WITH SEED 11");
+    let out = rows(
+        &mut s,
+        "SELECT TOP 5 FRAMES FROM Dashcam-California WITH SEED 11",
+    );
     assert_eq!(out.rows.len(), 5);
     assert!(out.stats.confidence.unwrap() >= 0.9);
     // tailgating scores are positive and descending
@@ -124,7 +147,10 @@ fn explain_then_run_consistency() {
         other => panic!("{other:?}"),
     };
     assert!(plan_text.contains("[sliding]"), "{plan_text}");
-    assert!(plan_text.contains("WindowAgg(len=40, slide=10"), "{plan_text}");
+    assert!(
+        plan_text.contains("WindowAgg(len=40, slide=10"),
+        "{plan_text}"
+    );
     let out = rows(&mut s, q);
     assert_eq!(out.rows.len(), 4);
 }
@@ -146,13 +172,16 @@ fn skyline_query_end_to_end() {
     // answer rows are pairwise non-dominated under their exact scores
     // (ties at quantized values allowed; compare in bucket units)
     let to_buckets = |r: &everest::evql::SkylineRow| {
-        vec![r.scores[0].round() as i64, (r.scores[1] / 2.0).round() as i64]
+        vec![
+            r.scores[0].round() as i64,
+            (r.scores[1] / 2.0).round() as i64,
+        ]
     };
     for a in &out.rows {
         for b in &out.rows {
             let (va, vb) = (to_buckets(a), to_buckets(b));
-            let dominates = va.iter().zip(&vb).all(|(x, y)| x >= y)
-                && va.iter().zip(&vb).any(|(x, y)| x > y);
+            let dominates =
+                va.iter().zip(&vb).all(|(x, y)| x >= y) && va.iter().zip(&vb).any(|(x, y)| x > y);
             assert!(
                 !dominates,
                 "frame {} dominates fellow answer frame {}",
@@ -164,11 +193,17 @@ fn skyline_query_end_to_end() {
 
     // A later Top-K on the same dataset/score reuses the skyline's
     // count-dimension Phase 1.
-    let topk = match s.execute("SELECT TOP 5 FRAMES FROM Archie WITH SEED 11").unwrap() {
+    let topk = match s
+        .execute("SELECT TOP 5 FRAMES FROM Archie WITH SEED 11")
+        .unwrap()
+    {
         Output::Rows(o) => o,
         other => panic!("{other:?}"),
     };
-    assert!(topk.stats.phase1_cached, "skyline and Top-K share Phase-1 work");
+    assert!(
+        topk.stats.phase1_cached,
+        "skyline and Top-K share Phase-1 work"
+    );
 }
 
 #[test]
@@ -191,7 +226,10 @@ fn set_scale_changes_planned_video_size() {
     assert!(err.message().contains("exceeds"), "{}", err.message());
     // At scale 1, Archie has its full 5 325 frames: K = 5 000 is legal.
     // (Do not run it — just confirm analysis accepts the size.)
-    let plan_text = match s.execute("EXPLAIN SELECT TOP 5000 FRAMES FROM Archie").unwrap() {
+    let plan_text = match s
+        .execute("EXPLAIN SELECT TOP 5000 FRAMES FROM Archie")
+        .unwrap()
+    {
         Output::Message(m) => m,
         other => panic!("{other:?}"),
     };

@@ -16,11 +16,7 @@ const MAX_BUCKET: usize = 8;
 
 /// Builds a calibrated instance: random per-item distributions, with the
 /// ground truth *sampled from* each distribution.
-fn calibrated_instance(
-    n: usize,
-    n_certain: usize,
-    seed: u64,
-) -> (UncertainRelation, Vec<u32>) {
+fn calibrated_instance(n: usize, n_certain: usize, seed: u64) -> (UncertainRelation, Vec<u32>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rel = UncertainRelation::new(1.0, MAX_BUCKET);
     let mut truth = Vec::with_capacity(n);
@@ -63,7 +59,12 @@ fn guarantee_holds_statistically_at_thres_080() {
         let (mut rel, truth) = calibrated_instance(120, 10, 1000 + trial);
         let t = truth.clone();
         let mut oracle = FnCleaningOracle(|id| t[id]);
-        let cfg = CleanerConfig { k: 5, thres, batch_size: 4, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 5,
+            thres,
+            batch_size: 4,
+            ..Default::default()
+        };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
         assert!(out.converged, "trial {trial} did not converge");
         assert!(out.confidence >= thres);
@@ -88,7 +89,11 @@ fn guarantee_holds_at_high_threshold() {
         let (mut rel, truth) = calibrated_instance(80, 8, 9_000 + trial);
         let t = truth.clone();
         let mut oracle = FnCleaningOracle(|id| t[id]);
-        let cfg = CleanerConfig { k: 3, thres, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 3,
+            thres,
+            ..Default::default()
+        };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
         assert!(out.confidence >= thres);
         if is_exact_topk(&truth, &out.topk) {
@@ -96,7 +101,10 @@ fn guarantee_holds_at_high_threshold() {
         }
     }
     let rate = exact as f64 / trials as f64;
-    assert!(rate >= thres - 0.12, "empirical exactness {rate} below {thres}");
+    assert!(
+        rate >= thres - 0.12,
+        "empirical exactness {rate} below {thres}"
+    );
 }
 
 #[test]
@@ -106,7 +114,11 @@ fn every_returned_item_is_oracle_confirmed() {
         let (mut rel, truth) = calibrated_instance(60, 5, 77 + trial);
         let t = truth.clone();
         let mut oracle = FnCleaningOracle(|id| t[id]);
-        let cfg = CleanerConfig { k: 4, thres: 0.9, ..Default::default() };
+        let cfg = CleanerConfig {
+            k: 4,
+            thres: 0.9,
+            ..Default::default()
+        };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
         for &id in &out.topk {
             assert_eq!(
@@ -129,12 +141,19 @@ fn cleaning_effort_grows_with_threshold() {
             let (mut rel, truth) = calibrated_instance(200, 12, 500 + trial);
             let t = truth.clone();
             let mut oracle = FnCleaningOracle(|id| t[id]);
-            let cfg = CleanerConfig { k: 5, thres, ..Default::default() };
+            let cfg = CleanerConfig {
+                k: 5,
+                thres,
+                ..Default::default()
+            };
             total += run_cleaner(&mut rel, &mut oracle, &cfg).cleaned;
         }
         cleaned.push(total);
     }
-    assert!(cleaned[0] <= cleaned[1] && cleaned[1] <= cleaned[2], "{cleaned:?}");
+    assert!(
+        cleaned[0] <= cleaned[1] && cleaned[1] <= cleaned[2],
+        "{cleaned:?}"
+    );
     // the marginal cost of 0.9 → 0.99 is far below the cost of reaching 0.5
     let base = cleaned[0].max(1);
     let tail = cleaned[2] - cleaned[1];

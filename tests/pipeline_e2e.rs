@@ -14,7 +14,13 @@ use everest::nn::HyperGrid;
 use everest::video::arrival::{ArrivalConfig, Timeline};
 use everest::video::scene::{SceneConfig, SyntheticVideo};
 
-fn setup(n_frames: usize, seed: u64) -> (SyntheticVideo, InstrumentedOracle<everest::models::ExactScoreOracle>) {
+fn setup(
+    n_frames: usize,
+    seed: u64,
+) -> (
+    SyntheticVideo,
+    InstrumentedOracle<everest::models::ExactScoreOracle>,
+) {
     let tl = Timeline::generate(
         &ArrivalConfig {
             n_frames,
@@ -37,7 +43,11 @@ fn phase1_cfg() -> Phase1Config {
         sample_cap: 450,
         sample_min: 200,
         grid: HyperGrid::single(5, 24),
-        train: TrainConfig { epochs: 25, batch_size: 32, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 25,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
         conv_channels: vec![8, 16, 32],
         threads: 4,
         ..Phase1Config::default()
@@ -62,7 +72,11 @@ fn everest_beats_scan_and_test_with_high_precision() {
     // the bound here is looser; full-scale precision is measured by the
     // Figure 4 experiment binary.
     assert!(quality.precision >= 0.6, "precision {}", quality.precision);
-    assert!(quality.score_error <= 2.0, "score error {}", quality.score_error);
+    assert!(
+        quality.score_error <= 2.0,
+        "score error {}",
+        quality.score_error
+    );
 
     // Simulated speedup over the naive baseline.
     let scan = scan_and_test(oracle.inner(), 10);

@@ -4,8 +4,8 @@
 
 use everest::core::dist::DiscreteDist;
 use everest::core::semantics::{
-    expected_rank_topk, expected_ranks, probabilistic_threshold_topk,
-    pws_expected_ranks, topk_membership, u_kranks, u_topk,
+    expected_rank_topk, expected_ranks, probabilistic_threshold_topk, pws_expected_ranks,
+    topk_membership, u_kranks, u_topk,
 };
 use everest::core::xtuple::UncertainRelation;
 use proptest::prelude::*;
@@ -13,16 +13,13 @@ use proptest::prelude::*;
 const MAX_B: usize = 3;
 
 fn arb_dist() -> impl Strategy<Value = DiscreteDist> {
-    proptest::collection::vec(0.0f64..1.0, MAX_B + 1).prop_filter_map(
-        "positive mass",
-        |masses| {
-            if masses.iter().sum::<f64>() > 1e-9 {
-                Some(DiscreteDist::from_masses(&masses))
-            } else {
-                None
-            }
-        },
-    )
+    proptest::collection::vec(0.0f64..1.0, MAX_B + 1).prop_filter_map("positive mass", |masses| {
+        if masses.iter().sum::<f64>() > 1e-9 {
+            Some(DiscreteDist::from_masses(&masses))
+        } else {
+            None
+        }
+    })
 }
 
 fn arb_relation() -> impl Strategy<Value = UncertainRelation> {

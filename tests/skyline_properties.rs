@@ -5,24 +5,20 @@
 
 use everest::core::dist::DiscreteDist;
 use everest::core::skyline::{
-    dominates, prob_dominated, pws_skyline_probability, skyline_of, skyline_state,
-    VectorRelation,
+    dominates, prob_dominated, pws_skyline_probability, skyline_of, skyline_state, VectorRelation,
 };
 use proptest::prelude::*;
 
 const MAX_B: usize = 3;
 
 fn arb_dist() -> impl Strategy<Value = DiscreteDist> {
-    proptest::collection::vec(0.0f64..1.0, MAX_B + 1).prop_filter_map(
-        "positive mass",
-        |masses| {
-            if masses.iter().sum::<f64>() > 1e-9 {
-                Some(DiscreteDist::from_masses(&masses))
-            } else {
-                None
-            }
-        },
-    )
+    proptest::collection::vec(0.0f64..1.0, MAX_B + 1).prop_filter_map("positive mass", |masses| {
+        if masses.iter().sum::<f64>() > 1e-9 {
+            Some(DiscreteDist::from_masses(&masses))
+        } else {
+            None
+        }
+    })
 }
 
 /// A small mixed 2-D relation (uncertain + certain items).

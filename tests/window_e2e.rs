@@ -13,7 +13,10 @@ use everest::nn::HyperGrid;
 use everest::video::arrival::{ArrivalConfig, Timeline};
 use everest::video::scene::{SceneConfig, SyntheticVideo};
 
-fn setup() -> (SyntheticVideo, InstrumentedOracle<everest::models::ExactScoreOracle>) {
+fn setup() -> (
+    SyntheticVideo,
+    InstrumentedOracle<everest::models::ExactScoreOracle>,
+) {
     let tl = Timeline::generate(
         &ArrivalConfig {
             n_frames: 3_000,
@@ -36,7 +39,10 @@ fn phase1_cfg() -> Phase1Config {
         sample_cap: 320,
         sample_min: 200,
         grid: HyperGrid::single(5, 24),
-        train: TrainConfig { epochs: 25, ..TrainConfig::default() },
+        train: TrainConfig {
+            epochs: 25,
+            ..TrainConfig::default()
+        },
         conv_channels: vec![8, 16, 32],
         threads: 4,
         ..Phase1Config::default()
@@ -49,22 +55,13 @@ fn window_query_finds_busy_windows() {
     let window_len = 60;
     let k = 5;
     let prepared = Everest::prepare(&video, &oracle, &phase1_cfg());
-    let report = prepared.query_topk_windows(
-        &oracle,
-        k,
-        0.9,
-        window_len,
-        0.2,
-        &CleanerConfig::default(),
-    );
+    let report =
+        prepared.query_topk_windows(&oracle, k, 0.9, window_len, 0.2, &CleanerConfig::default());
     assert!(report.converged);
     assert_eq!(report.items.len(), k);
 
     // Window ground truth and quality.
-    let exact = exact_window_scores(
-        oracle.inner().all_scores(),
-        &prepared.windows(window_len),
-    );
+    let exact = exact_window_scores(oracle.inner().all_scores(), &prepared.windows(window_len));
     let truth = GroundTruth::new(exact.clone());
     let answer: Vec<usize> = report.items.iter().map(|i| i.frame / window_len).collect();
     let q = evaluate_topk(&truth, &answer, k);
@@ -74,7 +71,10 @@ fn window_query_finds_busy_windows() {
     assert!(q.precision >= 0.6, "window precision {}", q.precision);
     let exact_top = topk_indices(&exact, k);
     let best_missed = answer.iter().filter(|w| exact_top.contains(w)).count();
-    assert!(best_missed >= k / 2, "answer misses most of the exact top: {answer:?}");
+    assert!(
+        best_missed >= k / 2,
+        "answer misses most of the exact top: {answer:?}"
+    );
 }
 
 #[test]
@@ -90,10 +90,7 @@ fn full_sampling_gives_exact_window_scores() {
         1.0, // confirm whole windows
         &CleanerConfig::default(),
     );
-    let exact = exact_window_scores(
-        oracle.inner().all_scores(),
-        &prepared.windows(window_len),
-    );
+    let exact = exact_window_scores(oracle.inner().all_scores(), &prepared.windows(window_len));
     for item in &report.items {
         let wid = item.frame / window_len;
         assert!(
@@ -161,7 +158,10 @@ fn sliding_windows_find_the_same_peaks_with_finer_offsets() {
     let ranked: Vec<everest::core::window::WindowInfo> = report
         .items
         .iter()
-        .map(|i| everest::core::window::WindowInfo { start: i.range.0, end: i.range.1 })
+        .map(|i| everest::core::window::WindowInfo {
+            start: i.range.0,
+            end: i.range.1,
+        })
         .collect();
     let disjoint = everest::core::window::suppress_overlaps(&ranked);
     for a in 0..disjoint.len() {

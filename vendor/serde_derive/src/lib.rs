@@ -1,0 +1,550 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! `syn`/`quote` are unavailable; instead the item is parsed directly from
+//! the `proc_macro` token stream. Supported shapes — the ones this
+//! workspace actually derives on:
+//!
+//! * structs with named fields (including `#[serde(skip)]` fields, which
+//!   are omitted on serialize and `Default`-initialized on deserialize);
+//! * tuple structs (newtypes serialize transparently);
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   upstream serde: `"Variant"` / `{"Variant": ...}`);
+//! * the container attribute `#[serde(from = "T", into = "T")]`.
+//!
+//! Generic containers are not supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- item model ----
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+    from_ty: Option<String>,
+    into_ty: Option<String>,
+}
+
+// ---- attribute helpers ----
+
+/// Extracts `skip` / `from = "..."` / `into = "..."` from one `#[...]`
+/// attribute group, ignoring every non-serde attribute.
+fn scan_attr(
+    group_tokens: TokenStream,
+    skip: &mut bool,
+    from: &mut Option<String>,
+    into: &mut Option<String>,
+) {
+    let mut iter = group_tokens.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {}
+        _ => return,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    // The serde attrs used in this workspace have no nested commas, so a
+    // flat split on the stringified stream is sufficient.
+    let text = inner.to_string();
+    for part in text.split(',') {
+        let part = part.trim();
+        if part == "skip" {
+            *skip = true;
+        } else if let Some(rest) = part.strip_prefix("from") {
+            if let Some(ty) = parse_eq_string(rest) {
+                *from = Some(ty);
+            }
+        } else if let Some(rest) = part.strip_prefix("into") {
+            if let Some(ty) = parse_eq_string(rest) {
+                *into = Some(ty);
+            }
+        }
+    }
+}
+
+/// Parses ` = "Some<Type>"` into `Some<Type>`.
+fn parse_eq_string(rest: &str) -> Option<String> {
+    let rest = rest.trim().strip_prefix('=')?.trim();
+    let rest = rest.strip_prefix('"')?.strip_suffix('"')?;
+    Some(rest.to_string())
+}
+
+/// Consumes leading attributes from `tokens[*pos..]`; returns whether any
+/// consumed attribute was `#[serde(skip)]` (and records from/into).
+fn consume_attrs(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    from: &mut Option<String>,
+    into: &mut Option<String>,
+) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                // `#!` inner attributes don't occur in item position; the
+                // next token is the bracket group.
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    scan_attr(g.stream(), &mut skip, from, into);
+                    *pos += 1;
+                } else {
+                    return skip;
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Skips a `pub` / `pub(crate)` / `pub(in ...)` visibility marker.
+fn consume_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips one type expression (everything until a top-level `,`), tracking
+/// `<`/`>` nesting. Bracketed groups arrive pre-balanced from the lexer.
+fn consume_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts the fields of a tuple-variant / tuple-struct parenthesis group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos < tokens.len() {
+        let mut ignored_from = None;
+        let mut ignored_into = None;
+        consume_attrs(&tokens, &mut pos, &mut ignored_from, &mut ignored_into);
+        consume_vis(&tokens, &mut pos);
+        consume_type(&tokens, &mut pos);
+        count += 1;
+        // consume_type stops at the separating comma (or end).
+        if pos < tokens.len() {
+            pos += 1;
+            if pos == tokens.len() {
+                break; // trailing comma
+            }
+        }
+    }
+    count
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let mut ignored_from = None;
+        let mut ignored_into = None;
+        let skip = consume_attrs(&tokens, &mut pos, &mut ignored_from, &mut ignored_into);
+        consume_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                return Err(format!(
+                    "expected ':' after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        consume_type(&tokens, &mut pos);
+        fields.push(Field { name, skip });
+        if pos < tokens.len() {
+            pos += 1; // the comma consume_type stopped at
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let mut ignored_from = None;
+        let mut ignored_into = None;
+        consume_attrs(&tokens, &mut pos, &mut ignored_from, &mut ignored_into);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                pos += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                pos += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == '=' {
+                pos += 1;
+                while let Some(tok) = tokens.get(pos) {
+                    if let TokenTree::Punct(p) = tok {
+                        if p.as_char() == ',' {
+                            break;
+                        }
+                    }
+                    pos += 1;
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    let mut from_ty = None;
+    let mut into_ty = None;
+    consume_attrs(&tokens, &mut pos, &mut from_ty, &mut into_ty);
+    consume_vis(&tokens, &mut pos);
+    let kind_kw = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the serde shim derive does not support generic containers (`{name}`)"
+            ));
+        }
+    }
+    let kind = match kind_kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item {
+        name,
+        kind,
+        from_ty,
+        into_ty,
+    })
+}
+
+// ---- code generation ----
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.into_ty {
+        format!(
+            "let proxy: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&proxy)"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::NamedStruct(fields) => {
+                let mut s = String::from(
+                    "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields.iter().filter(|f| !f.skip) {
+                    let fname = &f.name;
+                    s.push_str(&format!(
+                        "fields.push((::std::string::String::from(\"{fname}\"), ::serde::Serialize::to_value(&self.{fname})));\n"
+                    ));
+                }
+                s.push_str("::serde::value::Value::Object(fields)");
+                s
+            }
+            ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            ItemKind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::value::Value::Array(::std::vec![{}])",
+                    items.join(", ")
+                )
+            }
+            ItemKind::UnitStruct => "::serde::value::Value::Null".to_string(),
+            ItemKind::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::value::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::value::Value::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            arms.push_str(&format!(
+                                "{name}::{vname}({}) => ::serde::value::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {payload})]),\n",
+                                binds.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "{name}::{vname} {{ {} }} => ::serde::value::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::value::Value::Object(::std::vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_named_fields_ctor(type_path: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.skip {
+            inits.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+        } else {
+            inits.push_str(&format!(
+                "{fname}: match {source}.iter().find(|kv| kv.0 == \"{fname}\") {{\n\
+                     ::core::option::Option::Some(kv) => ::serde::Deserialize::from_value(&kv.1)?,\n\
+                     ::core::option::Option::None => return ::core::result::Result::Err(::serde::DeError::custom(\"missing field `{fname}` in {type_path}\")),\n\
+                 }},\n"
+            ));
+        }
+    }
+    format!("{type_path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from) = &item.from_ty {
+        format!(
+            "let proxy: {from} = ::serde::Deserialize::from_value(v)?;\n\
+             ::core::result::Result::Ok(::core::convert::Into::into(proxy))"
+        )
+    } else {
+        match &item.kind {
+            ItemKind::NamedStruct(fields) => {
+                let ctor = gen_named_fields_ctor(name, fields, "obj");
+                format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object ({name})\", v))?;\n\
+                     ::core::result::Result::Ok({ctor})"
+                )
+            }
+            ItemKind::TupleStruct(1) => {
+                format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            ItemKind::TupleStruct(n) => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array ({name})\", v))?;\n\
+                     if items.len() != {n} {{\n\
+                         return ::core::result::Result::Err(::serde::DeError::custom(\"wrong tuple length for {name}\"));\n\
+                     }}\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    gets.join(", ")
+                )
+            }
+            ItemKind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+            ItemKind::Enum(variants) => {
+                let mut unit_arms = String::new();
+                let mut data_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),\n"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                })
+                                .collect();
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                     let items = payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array ({name}::{vname})\", payload))?;\n\
+                                     if items.len() != {n} {{\n\
+                                         return ::core::result::Result::Err(::serde::DeError::custom(\"wrong arity for {name}::{vname}\"));\n\
+                                     }}\n\
+                                     ::core::result::Result::Ok({name}::{vname}({}))\n\
+                                 }},\n",
+                                gets.join(", ")
+                            ));
+                        }
+                        VariantShape::Struct(fields) => {
+                            let ctor = gen_named_fields_ctor(
+                                &format!("{name}::{vname}"),
+                                fields,
+                                "obj",
+                            );
+                            data_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                     let obj = payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"object ({name}::{vname})\", payload))?;\n\
+                                     ::core::result::Result::Ok({ctor})\n\
+                                 }},\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match v {{\n\
+                         ::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                             {unit_arms}\
+                             other => ::core::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }},\n\
+                         ::serde::value::Value::Object(fields) if fields.len() == 1 => {{\n\
+                             let (tag, payload) = &fields[0];\n\
+                             match tag.as_str() {{\n\
+                                 {data_arms}\
+                                 other => ::core::result::Result::Err(::serde::DeError::custom(::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }}\n\
+                         }},\n\
+                         other => ::core::result::Result::Err(::serde::DeError::expected(\"{name} variant\", other)),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde shim codegen error: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
