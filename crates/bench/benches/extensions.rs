@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks for the extension subsystems: the
 //! probabilistic skyline (§5 future work), expected-rank semantics [19],
-//! the EVQL front end, and the ingest index.
+//! the polynomial-time DP layer for the §2 uncertain Top-K semantics
+//! (`semantics_dp`), and the EVQL front end.
 //!
 //! The skyline group doubles as an ablation: the 2-D staircase path of
 //! `prob_dominated` vs direct support-grid enumeration shows why the
@@ -9,6 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use everest_core::dist::DiscreteDist;
 use everest_core::semantics::{expected_rank_topk, expected_ranks};
+use everest_core::semantics_dp::{u_kranks_dp, u_topk_dp, RankTable};
 use everest_core::skyline::{dominates, prob_dominated, skyline_of, skyline_state, VectorRelation};
 use everest_core::xtuple::UncertainRelation;
 use everest_evql::{analyze_select, parse, SessionSettings};
@@ -141,6 +143,46 @@ fn bench_expected_ranks(c: &mut Criterion) {
     group.finish();
 }
 
+/// A relation with distinct strengths and ±2-bucket overlaps — the regime
+/// the DP semantics layer targets (enumeration would need ~5ⁿ worlds).
+fn spread_relation(n: usize) -> UncertainRelation {
+    let max_b = 3 * n + 2;
+    let mut rel = UncertainRelation::new(1.0, max_b);
+    for i in 0..n {
+        let center = (3 * i) as f64;
+        let masses: Vec<f64> = (0..=max_b)
+            .map(|b| {
+                let d = (b as f64 - center).abs();
+                if d > 2.0 {
+                    0.0
+                } else {
+                    (-d / 0.8).exp()
+                }
+            })
+            .collect();
+        rel.push_uncertain(DiscreteDist::from_masses(&masses));
+    }
+    rel
+}
+
+fn bench_dp_semantics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantics_dp");
+    for &n in &[50usize, 200] {
+        let rel = spread_relation(n);
+        let k = 10.min(n);
+        group.bench_with_input(BenchmarkId::new("rank_table", n), &n, |b, _| {
+            b.iter(|| black_box(RankTable::build(black_box(&rel), k).membership(0)))
+        });
+        group.bench_with_input(BenchmarkId::new("u_kranks_dp", n), &n, |b, _| {
+            b.iter(|| black_box(u_kranks_dp(black_box(&rel), k).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("u_topk_dp", n), &n, |b, _| {
+            b.iter(|| black_box(u_topk_dp(black_box(&rel), k).1))
+        });
+    }
+    group.finish();
+}
+
 fn bench_evql_frontend(c: &mut Criterion) {
     let mut group = c.benchmark_group("evql");
     let queries = [
@@ -181,6 +223,7 @@ criterion_group!(
     benches,
     bench_skyline,
     bench_expected_ranks,
+    bench_dp_semantics,
     bench_evql_frontend
 );
 criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! Diffs the medians written by the criterion shim against the committed
+//! baseline, so perf PRs can prove their wins (and CI can catch
+//! order-of-magnitude regressions).
+//!
+//! ```text
+//! cargo bench -p everest-bench                    # writes target/bench_medians/*.json
+//! cargo run -p everest-bench --bin bench_diff      # prints the diff table
+//! cargo run -p everest-bench --bin bench_diff -- --check        # exit 1 on big regressions
+//! cargo run -p everest-bench --bin bench_diff -- --update       # rewrite the baseline
+//! ```
+//!
+//! Flags:
+//!
+//! * `--check` — exit non-zero if any benchmark regressed by more than the
+//!   tolerance (default 4×; machine-to-machine variance is large, so the
+//!   gate only catches structural regressions, not noise).
+//! * `--tolerance <ratio>` — the `--check` regression ratio.
+//! * `--update` — overwrite the committed baseline with the current
+//!   medians (run on the reference machine after a deliberate perf change).
+//! * `--baseline <path>` / `--medians <dir>` — override the default
+//!   locations (`crates/bench/bench_baseline.json`, the bench package's
+//!   `target/bench_medians/`).
+//!
+//! `--check` also fails when a baseline benchmark was *not* measured this
+//! run — an unmeasured benchmark is an ungated one. Note the medians dir
+//! merges every `*.json` it contains, so after renaming or deleting a
+//! bench binary, clear `target/bench_medians/` (stale files would keep
+//! feeding dead labels into the diff and into `--update`).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn default_baseline() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("bench_baseline.json")
+}
+
+fn default_medians_dir() -> PathBuf {
+    match std::env::var("BENCH_MEDIANS_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        // cargo runs bench binaries with the package root as cwd, so the
+        // shim's relative `target/bench_medians` lands here:
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/bench_medians"),
+    }
+}
+
+fn load_map(path: &std::path::Path) -> BTreeMap<String, f64> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return BTreeMap::new(),
+    };
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot parse {}: {e}", path.display());
+        BTreeMap::new()
+    })
+}
+
+/// All medians from the shim's per-bench-binary files, merged.
+fn load_current(dir: &std::path::Path) -> BTreeMap<String, f64> {
+    let mut merged = BTreeMap::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return merged,
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    for file in files {
+        merged.extend(load_map(&file));
+    }
+    merged
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut update = false;
+    let mut tolerance = 4.0f64;
+    let mut baseline_path = default_baseline();
+    let mut medians_dir = default_medians_dir();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--update" => update = true,
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance needs a ratio, e.g. 4.0");
+            }
+            "--baseline" => baseline_path = PathBuf::from(args.next().expect("--baseline <path>")),
+            "--medians" => medians_dir = PathBuf::from(args.next().expect("--medians <dir>")),
+            other => {
+                eprintln!("bench_diff: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let current = load_current(&medians_dir);
+    if current.is_empty() {
+        eprintln!(
+            "bench_diff: no medians in {} — run `cargo bench -p everest-bench` first",
+            medians_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if update {
+        // One entry per line (sorted by label) for reviewable diffs.
+        let mut pretty = String::from("{\n");
+        for (i, (label, ns)) in current.iter().enumerate() {
+            pretty.push_str(&format!("  \"{label}\": {ns:?}"));
+            pretty.push_str(if i + 1 == current.len() { "\n" } else { ",\n" });
+        }
+        pretty.push_str("}\n");
+        std::fs::write(&baseline_path, pretty).expect("write baseline");
+        println!(
+            "baseline updated: {} ({} entries)",
+            baseline_path.display(),
+            current.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = load_map(&baseline_path);
+    if baseline.is_empty() {
+        eprintln!(
+            "bench_diff: no baseline at {} — run with --update to create it",
+            baseline_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{:<52} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    for (label, &now) in &current {
+        match baseline.get(label) {
+            Some(&base) if base > 0.0 => {
+                let ratio = now / base;
+                let marker = if ratio > tolerance {
+                    regressions.push((label.clone(), ratio));
+                    "  ← REGRESSION"
+                } else if ratio < 1.0 / tolerance {
+                    "  ← improvement"
+                } else {
+                    ""
+                };
+                println!(
+                    "{label:<52} {:>12} {:>12} {ratio:>7.2}×{marker}",
+                    human(base),
+                    human(now)
+                );
+            }
+            _ => println!("{label:<52} {:>12} {:>12}     new", "—", human(now)),
+        }
+    }
+    for label in baseline.keys() {
+        if !current.contains_key(label) {
+            println!("{label:<52} (in baseline, not measured this run)");
+            missing.push(label.clone());
+        }
+    }
+
+    if check && !(regressions.is_empty() && missing.is_empty()) {
+        if !regressions.is_empty() {
+            eprintln!(
+                "\nbench_diff: {} benchmark(s) regressed beyond {tolerance}×:",
+                regressions.len()
+            );
+            for (label, ratio) in &regressions {
+                eprintln!("  {label}: {ratio:.2}×");
+            }
+        }
+        if !missing.is_empty() {
+            // A silently un-measured benchmark is an ungated benchmark:
+            // fail so a deleted group, renamed bench binary, or
+            // unparseable medians file can't slip through CI green.
+            eprintln!(
+                "\nbench_diff: {} baseline benchmark(s) were not measured this run \
+                 (re-run `cargo bench -p everest-bench`, or --update the baseline \
+                 if they were deliberately removed):",
+                missing.len()
+            );
+            for label in &missing {
+                eprintln!("  {label}");
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

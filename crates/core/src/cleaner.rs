@@ -289,7 +289,7 @@ mod tests {
             ..Default::default()
         };
         let out = run_cleaner(&mut rel, &mut oracle, &cfg);
-        let brute = topk_confidence_bruteforce(&rel, &out.topk, 2);
+        let brute = topk_confidence_bruteforce(&rel, &out.topk, 2).unwrap();
         assert!(
             (out.confidence - brute).abs() < 1e-9,
             "fast {} vs brute {brute}",

@@ -8,6 +8,10 @@
 //!   uncertain relation (§2);
 //! * [`pws`] — brute-force possible-world semantics (Eq. 1), the test
 //!   oracle for the fast path;
+//! * [`semantics`] / [`semantics_dp`] — the §2 alternative uncertain Top-K
+//!   semantics (U-TopK, U-KRanks, PT-k, expected ranks): enumeration
+//!   oracles and their polynomial-time dynamic programs (see
+//!   `docs/SEMANTICS.md`);
 //! * [`topkprob`] — `Topk-prob` (Eq. 2/3) with an incrementally-maintained
 //!   joint CDF in log space;
 //! * [`select`] — `Select-candidate` (Eq. 4–8) with upper-bound early
@@ -69,6 +73,7 @@ pub mod prefetch;
 pub mod pws;
 pub mod select;
 pub mod semantics;
+pub mod semantics_dp;
 pub mod sim;
 pub mod skyline;
 pub mod topkprob;

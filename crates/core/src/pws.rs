@@ -11,12 +11,57 @@
 //! Ties follow the paper's footnote 1: an answer `R̂` counts as Top-K in a
 //! world when **no item outside `R̂` scores strictly higher than the lowest
 //! score inside `R̂`**.
+//!
+//! Enumeration is guarded by [`MAX_WORLDS`]: oversized relations yield a
+//! typed [`TooManyWorlds`] error instead of aborting, so callers can fall
+//! back to a polynomial path — Eq. 2/3 in [`crate::topkprob`] for Everest's
+//! own confidence, [`crate::semantics_dp`] for the §2 alternative
+//! semantics.
 
 use crate::xtuple::{ItemId, UncertainRelation};
+use std::fmt;
 
 /// Enumeration guard: relations with more possible worlds than this are
 /// rejected (the caller should be using the fast path).
 pub const MAX_WORLDS: u128 = 2_000_000;
+
+/// Error: the relation's possible-world count exceeds [`MAX_WORLDS`], so
+/// brute-force enumeration was refused. Recoverable — use the polynomial
+/// paths ([`crate::topkprob`], [`crate::semantics_dp`]) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManyWorlds {
+    /// The offending world count (saturating; capped at `u128::MAX`).
+    pub worlds: u128,
+    /// The guard it exceeded ([`MAX_WORLDS`]).
+    pub limit: u128,
+}
+
+impl fmt::Display for TooManyWorlds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "relation too large for brute-force enumeration ({} worlds > limit {}); \
+             use the polynomial paths (topkprob / semantics_dp)",
+            self.worlds, self.limit
+        )
+    }
+}
+
+impl std::error::Error for TooManyWorlds {}
+
+/// Number of possible worlds of the relation (saturating product of the
+/// per-item support sizes; certain items contribute a factor of 1).
+pub fn count_worlds(rel: &UncertainRelation) -> u128 {
+    let mut count: u128 = 1;
+    for id in 0..rel.len() {
+        let options = match rel.dist(id) {
+            Some(d) => (d.support_max() - d.support_min() + 1) as u128,
+            None => 1,
+        };
+        count = count.saturating_mul(options);
+    }
+    count
+}
 
 /// One fully instantiated world: a score bucket per item, plus its
 /// probability.
@@ -30,19 +75,18 @@ pub struct World {
 ///
 /// Certain items contribute their exact bucket with probability 1;
 /// uncertain items contribute each support bucket with its PMF mass.
-pub fn enumerate_worlds(rel: &UncertainRelation) -> Vec<World> {
+///
+/// Returns [`TooManyWorlds`] (instead of panicking) when the world count
+/// exceeds [`MAX_WORLDS`], so callers degrade gracefully to the
+/// polynomial paths.
+pub fn enumerate_worlds(rel: &UncertainRelation) -> Result<Vec<World>, TooManyWorlds> {
     let n = rel.len();
-    let mut world_count: u128 = 1;
-    for id in 0..n {
-        let options = match rel.dist(id) {
-            Some(d) => (d.support_max() - d.support_min() + 1) as u128,
-            None => 1,
-        };
-        world_count = world_count.saturating_mul(options);
-        assert!(
-            world_count <= MAX_WORLDS,
-            "relation too large for brute-force enumeration ({world_count}+ worlds)"
-        );
+    let world_count = count_worlds(rel);
+    if world_count > MAX_WORLDS {
+        return Err(TooManyWorlds {
+            worlds: world_count,
+            limit: MAX_WORLDS,
+        });
     }
 
     let mut worlds = vec![World {
@@ -75,7 +119,7 @@ pub fn enumerate_worlds(rel: &UncertainRelation) -> Vec<World> {
             }
         }
     }
-    worlds
+    Ok(worlds)
 }
 
 /// Whether `answer` is a valid Top-K set in the given world (tie-tolerant).
@@ -98,12 +142,19 @@ pub fn is_topk_in_world(world: &World, answer: &[ItemId], k: usize) -> bool {
 
 /// Eq. 1: the confidence of `answer` as the probability mass of the worlds
 /// where it is Top-K.
-pub fn topk_confidence_bruteforce(rel: &UncertainRelation, answer: &[ItemId], k: usize) -> f64 {
-    enumerate_worlds(rel)
+///
+/// Errors with [`TooManyWorlds`] on oversized relations; the polynomial
+/// equivalent is [`crate::semantics_dp::topk_confidence`].
+pub fn topk_confidence_bruteforce(
+    rel: &UncertainRelation,
+    answer: &[ItemId],
+    k: usize,
+) -> Result<f64, TooManyWorlds> {
+    Ok(enumerate_worlds(rel)?
         .iter()
         .filter(|w| is_topk_in_world(w, answer, k))
         .map(|w| w.prob)
-        .sum()
+        .sum())
 }
 
 #[cfg(test)]
@@ -115,7 +166,7 @@ mod tests {
     #[test]
     fn world_count_and_mass() {
         let rel = table_1a();
-        let worlds = enumerate_worlds(&rel);
+        let worlds = enumerate_worlds(&rel).expect("enumerable");
         assert_eq!(worlds.len(), 27); // 3^3 as in §3 ("out of 3^3")
         let mass: f64 = worlds.iter().map(|w| w.prob).sum();
         assert!((mass - 1.0).abs() < 1e-12);
@@ -125,7 +176,7 @@ mod tests {
     fn table4_world_probabilities() {
         // W1 = (0,0,0): 0.78 × 0.49 × 0.16; W2 = (1,0,0): 0.21 × 0.49 × 0.16
         let rel = table_1a();
-        let worlds = enumerate_worlds(&rel);
+        let worlds = enumerate_worlds(&rel).expect("enumerable");
         let find = |b: &[u32]| {
             worlds
                 .iter()
@@ -141,7 +192,7 @@ mod tests {
     fn paper_top1_confidence_of_f3_is_085() {
         // §3: "the Top-1 result of Table 1a is {f3} with confidence 0.85".
         let rel = table_1a();
-        let p = topk_confidence_bruteforce(&rel, &[2], 1);
+        let p = topk_confidence_bruteforce(&rel, &[2], 1).unwrap();
         assert!((p - 0.8476).abs() < 0.01, "expected ≈0.85, got {p}");
     }
 
@@ -151,7 +202,7 @@ mod tests {
         // 0.78 × 0.49 ≈ 0.38 (worlds where f1 = f2 = 0).
         let mut rel = table_1a();
         rel.clean(2, 0);
-        let p = topk_confidence_bruteforce(&rel, &[2], 1);
+        let p = topk_confidence_bruteforce(&rel, &[2], 1).unwrap();
         assert!((p - 0.78 * 0.49).abs() < 1e-9, "expected ≈0.382, got {p}");
     }
 
@@ -161,9 +212,9 @@ mod tests {
         rel.push_certain(4);
         rel.push_certain(2);
         rel.push_certain(1);
-        assert_eq!(topk_confidence_bruteforce(&rel, &[0], 1), 1.0);
-        assert_eq!(topk_confidence_bruteforce(&rel, &[1], 1), 0.0);
-        assert_eq!(topk_confidence_bruteforce(&rel, &[0, 1], 2), 1.0);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[0], 1).unwrap(), 1.0);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[1], 1).unwrap(), 0.0);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[0, 1], 2).unwrap(), 1.0);
     }
 
     #[test]
@@ -172,24 +223,40 @@ mod tests {
         rel.push_certain(1);
         rel.push_certain(1);
         // Either single frame is a valid Top-1 when both tie.
-        assert_eq!(topk_confidence_bruteforce(&rel, &[0], 1), 1.0);
-        assert_eq!(topk_confidence_bruteforce(&rel, &[1], 1), 1.0);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[0], 1).unwrap(), 1.0);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[1], 1).unwrap(), 1.0);
     }
 
     #[test]
     fn wrong_answer_size_has_zero_confidence() {
         let rel = table_1a();
-        assert_eq!(topk_confidence_bruteforce(&rel, &[0, 1], 1), 0.0);
+        assert_eq!(topk_confidence_bruteforce(&rel, &[0, 1], 1).unwrap(), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "too large")]
-    fn enumeration_guard_trips() {
+    fn enumeration_guard_returns_typed_error() {
         let mut rel = UncertainRelation::new(1.0, 9);
         let masses = vec![0.1; 10];
         for _ in 0..25 {
             rel.push_uncertain(DiscreteDist::from_masses(&masses));
         }
-        let _ = enumerate_worlds(&rel);
+        assert_eq!(count_worlds(&rel), 10u128.pow(25));
+        let err = enumerate_worlds(&rel).expect_err("must refuse 10^25 worlds");
+        assert_eq!(err.limit, MAX_WORLDS);
+        assert_eq!(err.worlds, 10u128.pow(25));
+        assert!(err.to_string().contains("too large"));
+        let err2 = topk_confidence_bruteforce(&rel, &[0], 1).expect_err("propagates");
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn count_worlds_saturates_instead_of_overflowing() {
+        let mut rel = UncertainRelation::new(1.0, 9);
+        let masses = vec![0.1; 10];
+        for _ in 0..200 {
+            rel.push_uncertain(DiscreteDist::from_masses(&masses));
+        }
+        assert_eq!(count_worlds(&rel), u128::MAX);
+        assert!(enumerate_worlds(&rel).is_err());
     }
 }

@@ -21,11 +21,16 @@
 //! oracle-in-the-loop processing, whose answer meets `Pr(R̂ = R) ≥ thres`
 //! *and* is fully oracle-confirmed.
 //!
-//! These implementations enumerate possible worlds and are exponential —
-//! they exist for semantics comparison on small relations (and for the
-//! `semantics_comparison` experiment), not for production use.
+//! The implementations in this module enumerate possible worlds and are
+//! **exponential** — they are the correctness oracle that the
+//! polynomial-time dynamic programs in [`crate::semantics_dp`] are
+//! property-tested against, and they refuse oversized relations with a
+//! typed [`TooManyWorlds`] error. Production-size comparisons (the
+//! `semantics_comparison` experiment) run on the DP layer; see
+//! `docs/SEMANTICS.md` for the full map.
 
-use crate::pws::{enumerate_worlds, World};
+use crate::pws::{enumerate_worlds, TooManyWorlds, World};
+use crate::semantics_dp;
 use crate::xtuple::{ItemId, UncertainRelation};
 use std::collections::HashMap;
 
@@ -39,16 +44,18 @@ fn topk_of_world(world: &World, k: usize) -> Vec<ItemId> {
     top
 }
 
-/// U-TopK: the most probable Top-K *set*, with its probability.
+/// U-TopK by world enumeration: the most probable Top-K *set*, with its
+/// probability (test oracle for [`semantics_dp::u_topk_dp`]).
 ///
-/// Returns `(set, probability)`; the set is sorted by item id.
-pub fn u_topk(rel: &UncertainRelation, k: usize) -> (Vec<ItemId>, f64) {
+/// Returns `(set, probability)`; the set is sorted by item id. Errors with
+/// [`TooManyWorlds`] on relations too large to enumerate.
+pub fn u_topk(rel: &UncertainRelation, k: usize) -> Result<(Vec<ItemId>, f64), TooManyWorlds> {
     assert!(k >= 1 && k <= rel.len(), "K out of range");
     let mut scores: HashMap<Vec<ItemId>, f64> = HashMap::new();
-    for world in enumerate_worlds(rel) {
+    for world in enumerate_worlds(rel)? {
         *scores.entry(topk_of_world(&world, k)).or_insert(0.0) += world.prob;
     }
-    scores
+    Ok(scores
         .into_iter()
         .max_by(|a, b| {
             a.1.partial_cmp(&b.1)
@@ -56,26 +63,17 @@ pub fn u_topk(rel: &UncertainRelation, k: usize) -> (Vec<ItemId>, f64) {
                 // deterministic tie-break on the set itself
                 .then_with(|| b.0.cmp(&a.0))
         })
-        .expect("at least one world")
+        .expect("at least one world"))
 }
 
-/// U-KRanks: for each rank i (0-based), the item most likely to occupy it.
+/// U-KRanks by world enumeration: for each rank i (0-based), the item most
+/// likely to occupy it (test oracle for [`semantics_dp::u_kranks_dp`]).
 ///
 /// Returns `ranks[i] = (item, probability)`. Note the same item may win
 /// multiple ranks — one of the semantic quirks the paper points out.
-pub fn u_kranks(rel: &UncertainRelation, k: usize) -> Vec<(ItemId, f64)> {
-    assert!(k >= 1 && k <= rel.len(), "K out of range");
-    let n = rel.len();
-    // rank_prob[i][f] = Pr(item f is ranked i-th)
-    let mut rank_prob = vec![vec![0.0f64; n]; k];
-    for world in enumerate_worlds(rel) {
-        let mut ids: Vec<ItemId> = (0..n).collect();
-        ids.sort_by(|&a, &b| world.buckets[b].cmp(&world.buckets[a]).then(a.cmp(&b)));
-        for (i, &f) in ids.iter().take(k).enumerate() {
-            rank_prob[i][f] += world.prob;
-        }
-    }
-    rank_prob
+/// Errors with [`TooManyWorlds`] on relations too large to enumerate.
+pub fn u_kranks(rel: &UncertainRelation, k: usize) -> Result<Vec<(ItemId, f64)>, TooManyWorlds> {
+    Ok(rank_probabilities(rel, k)?
         .into_iter()
         .map(|probs| {
             probs
@@ -84,41 +82,58 @@ pub fn u_kranks(rel: &UncertainRelation, k: usize) -> Vec<(ItemId, f64)> {
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
                 .expect("non-empty")
         })
-        .collect()
+        .collect())
 }
 
-/// Membership probabilities `Pr(f ∈ Top-K)` for every item.
-pub fn topk_membership(rel: &UncertainRelation, k: usize) -> Vec<f64> {
+/// The full positional table by world enumeration:
+/// `table[i][f] = Pr(item f is ranked i-th)` for every rank `i < k` (test
+/// oracle for [`semantics_dp::RankTable`]).
+pub fn rank_probabilities(
+    rel: &UncertainRelation,
+    k: usize,
+) -> Result<Vec<Vec<f64>>, TooManyWorlds> {
+    assert!(k >= 1 && k <= rel.len(), "K out of range");
+    let n = rel.len();
+    let mut rank_prob = vec![vec![0.0f64; n]; k];
+    for world in enumerate_worlds(rel)? {
+        let mut ids: Vec<ItemId> = (0..n).collect();
+        ids.sort_by(|&a, &b| world.buckets[b].cmp(&world.buckets[a]).then(a.cmp(&b)));
+        for (i, &f) in ids.iter().take(k).enumerate() {
+            rank_prob[i][f] += world.prob;
+        }
+    }
+    Ok(rank_prob)
+}
+
+/// Membership probabilities `Pr(f ∈ Top-K)` for every item, by world
+/// enumeration (test oracle for [`semantics_dp::topk_membership_dp`]).
+pub fn topk_membership(rel: &UncertainRelation, k: usize) -> Result<Vec<f64>, TooManyWorlds> {
     assert!(k >= 1 && k <= rel.len(), "K out of range");
     let n = rel.len();
     let mut member = vec![0.0f64; n];
-    for world in enumerate_worlds(rel) {
+    for world in enumerate_worlds(rel)? {
         for f in topk_of_world(&world, k) {
             member[f] += world.prob;
         }
     }
-    member
+    Ok(member)
 }
 
-/// PT-k: every item whose Top-K membership probability is at least `p`.
-/// May return fewer or more than K items — including the empty set.
-pub fn probabilistic_threshold_topk(rel: &UncertainRelation, k: usize, p: f64) -> Vec<ItemId> {
-    topk_membership(rel, k)
+/// PT-k by world enumeration: every item whose Top-K membership
+/// probability is at least `p` (test oracle for
+/// [`semantics_dp::probabilistic_threshold_topk_dp`]). May return fewer or
+/// more than K items — including the empty set.
+pub fn probabilistic_threshold_topk(
+    rel: &UncertainRelation,
+    k: usize,
+    p: f64,
+) -> Result<Vec<ItemId>, TooManyWorlds> {
+    Ok(topk_membership(rel, k)?
         .into_iter()
         .enumerate()
         .filter(|&(_, prob)| prob >= p)
         .map(|(f, _)| f)
-        .collect()
-}
-
-/// `Pr(S_f = b)` for any item (certain items are point masses).
-fn pmf(rel: &UncertainRelation, id: ItemId, bucket: usize) -> f64 {
-    let lo = if bucket == 0 {
-        0.0
-    } else {
-        rel.cdf(id, bucket - 1)
-    };
-    rel.cdf(id, bucket) - lo
+        .collect())
 }
 
 /// **Expected ranks** (Cormode, Li & Yi \[19\]): `E[rank(f)]` over possible
@@ -145,14 +160,14 @@ pub fn expected_ranks(rel: &UncertainRelation) -> Vec<f64> {
     for g in 0..n {
         for (b, (a, t)) in above.iter_mut().zip(tie.iter_mut()).enumerate() {
             *a += 1.0 - rel.cdf(g, b);
-            *t += pmf(rel, g, b);
+            *t += rel.pmf(g, b);
         }
     }
     (0..n)
         .map(|f| {
             (0..m)
                 .map(|b| {
-                    let pf = pmf(rel, f, b);
+                    let pf = rel.pmf(f, b);
                     if pf == 0.0 {
                         return 0.0;
                     }
@@ -181,11 +196,11 @@ pub fn expected_rank_topk(rel: &UncertainRelation, k: usize) -> Vec<(ItemId, f64
 }
 
 /// Brute-force expected ranks via world enumeration (test oracle for
-/// [`expected_ranks`]; exponential).
-pub fn pws_expected_ranks(rel: &UncertainRelation) -> Vec<f64> {
+/// [`expected_ranks`]; exponential, errors with [`TooManyWorlds`]).
+pub fn pws_expected_ranks(rel: &UncertainRelation) -> Result<Vec<f64>, TooManyWorlds> {
     let n = rel.len();
     let mut ranks = vec![0.0f64; n];
-    for world in enumerate_worlds(rel) {
+    for world in enumerate_worlds(rel)? {
         for f in 0..n {
             let mut r = 0.0;
             for g in 0..n {
@@ -201,7 +216,7 @@ pub fn pws_expected_ranks(rel: &UncertainRelation) -> Vec<f64> {
             ranks[f] += world.prob * r;
         }
     }
-    ranks
+    Ok(ranks)
 }
 
 /// A side-by-side comparison of every implemented uncertain Top-K
@@ -221,13 +236,26 @@ pub struct SemanticsComparison {
     pub expected_rank: Vec<(ItemId, f64)>,
 }
 
-/// Runs all semantics on one (small) relation.
+/// Runs all semantics on one relation.
+///
+/// Evaluation goes through the polynomial-time layer
+/// ([`crate::semantics_dp`]), so — unlike the enumeration oracles above —
+/// this works on relations of hundreds of items, not just enumerable toys.
 pub fn compare_semantics(rel: &UncertainRelation, k: usize, ptk_p: f64) -> SemanticsComparison {
+    // One rank-distribution DP serves U-KRanks, PT-k and the U-TopK
+    // search's membership bounds.
+    let table = semantics_dp::RankTable::build(rel, k);
+    let member = table.memberships();
     SemanticsComparison {
         k,
-        u_topk: u_topk(rel, k),
-        u_kranks: u_kranks(rel, k),
-        ptk: probabilistic_threshold_topk(rel, k, ptk_p),
+        u_topk: semantics_dp::u_topk_with_memberships(rel, k, &member),
+        u_kranks: table.u_kranks(),
+        ptk: member
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, prob)| prob >= ptk_p)
+            .map(|(f, _)| f)
+            .collect(),
         ptk_threshold: ptk_p,
         expected_rank: expected_rank_topk(rel, k),
     }
@@ -237,23 +265,15 @@ pub fn compare_semantics(rel: &UncertainRelation, k: usize, ptk_p: f64) -> Seman
 mod tests {
     use super::*;
     use crate::dist::DiscreteDist;
+    use crate::xtuple::table_1a;
 
     fn d(masses: &[f64]) -> DiscreteDist {
         DiscreteDist::from_masses(masses)
     }
 
-    /// Table 1a's three frames.
-    fn table_1a() -> UncertainRelation {
-        let mut r = UncertainRelation::new(1.0, 2);
-        r.push_uncertain(d(&[0.78, 0.21, 0.01]));
-        r.push_uncertain(d(&[0.49, 0.42, 0.09]));
-        r.push_uncertain(d(&[0.16, 0.48, 0.36]));
-        r
-    }
-
     #[test]
     fn u_topk_on_table_1a() {
-        let (set, p) = u_topk(&table_1a(), 1);
+        let (set, p) = u_topk(&table_1a(), 1).unwrap();
         // f3 dominates: it is the most probable Top-1.
         assert_eq!(set, vec![2]);
         assert!(p > 0.5 && p < 1.0, "probability {p}");
@@ -267,13 +287,13 @@ mod tests {
         for _ in 0..5 {
             rel.push_uncertain(d(&[0.25, 0.25, 0.25, 0.25]));
         }
-        let (_, p) = u_topk(&rel, 1);
+        let (_, p) = u_topk(&rel, 1).unwrap();
         assert!(p < 0.5, "no guarantee: winner probability is only {p}");
     }
 
     #[test]
     fn u_kranks_positions_sum_to_valid_probs() {
-        let ranks = u_kranks(&table_1a(), 2);
+        let ranks = u_kranks(&table_1a(), 2).unwrap();
         assert_eq!(ranks.len(), 2);
         for &(f, p) in &ranks {
             assert!(f < 3);
@@ -289,7 +309,7 @@ mod tests {
         rel.push_uncertain(d(&[0.0, 0.0, 0.5, 0.5])); // strong: always rank 1
         rel.push_uncertain(d(&[0.9, 0.1, 0.0, 0.0])); // weak
         rel.push_uncertain(d(&[0.9, 0.1, 0.0, 0.0])); // weak
-        let ranks = u_kranks(&rel, 2);
+        let ranks = u_kranks(&rel, 2).unwrap();
         assert_eq!(ranks[0], (0, 1.0), "strong item wins rank 1 certainly");
         // Rank 2 goes to item 1 except when (item1 = 0, item2 = 1):
         // Pr = 1 − 0.9·0.1 = 0.91 (ties at 0 break to the lower id).
@@ -299,7 +319,7 @@ mod tests {
 
     #[test]
     fn membership_probabilities_sum_to_k() {
-        let member = topk_membership(&table_1a(), 2);
+        let member = topk_membership(&table_1a(), 2).unwrap();
         let total: f64 = member.iter().sum();
         assert!(
             (total - 2.0).abs() < 1e-9,
@@ -314,9 +334,11 @@ mod tests {
         for _ in 0..6 {
             rel.push_uncertain(d(&[0.25, 0.25, 0.25, 0.25]));
         }
-        assert!(probabilistic_threshold_topk(&rel, 1, 0.9).is_empty());
+        assert!(probabilistic_threshold_topk(&rel, 1, 0.9)
+            .unwrap()
+            .is_empty());
         // …and with a low threshold more than K items qualify.
-        let many = probabilistic_threshold_topk(&rel, 1, 0.05);
+        let many = probabilistic_threshold_topk(&rel, 1, 0.05).unwrap();
         assert!(many.len() > 1, "PT-1 returned {} items", many.len());
     }
 
@@ -326,16 +348,38 @@ mod tests {
         rel.push_certain(5);
         rel.push_certain(3);
         rel.push_certain(1);
-        let (set, p) = u_topk(&rel, 2);
+        let (set, p) = u_topk(&rel, 2).unwrap();
         assert_eq!(set, vec![0, 1]);
         assert_eq!(p, 1.0);
-        let ranks = u_kranks(&rel, 2);
+        let ranks = u_kranks(&rel, 2).unwrap();
         assert_eq!(ranks[0], (0, 1.0));
         assert_eq!(ranks[1], (1, 1.0));
-        assert_eq!(probabilistic_threshold_topk(&rel, 2, 0.99), vec![0, 1]);
+        assert_eq!(
+            probabilistic_threshold_topk(&rel, 2, 0.99).unwrap(),
+            vec![0, 1]
+        );
         let er = expected_rank_topk(&rel, 2);
         assert_eq!(er[0], (0, 0.0), "the top item has nothing above it");
         assert_eq!(er[1], (1, 1.0), "exactly one item above");
+    }
+
+    #[test]
+    fn oversized_relations_error_instead_of_aborting() {
+        let mut rel = UncertainRelation::new(1.0, 9);
+        let masses = vec![0.1; 10];
+        for _ in 0..25 {
+            rel.push_uncertain(d(&masses));
+        }
+        assert!(u_topk(&rel, 3).is_err());
+        assert!(u_kranks(&rel, 3).is_err());
+        assert!(topk_membership(&rel, 3).is_err());
+        assert!(probabilistic_threshold_topk(&rel, 3, 0.5).is_err());
+        assert!(pws_expected_ranks(&rel).is_err());
+        // …while the polynomial paths (and the comparison bundle built on
+        // them) still work.
+        let cmp = compare_semantics(&rel, 3, 0.5);
+        assert_eq!(cmp.u_topk.0.len(), 3);
+        assert!(expected_ranks(&rel).len() == 25);
     }
 
     #[test]
@@ -349,7 +393,7 @@ mod tests {
             r
         }] {
             let fast = expected_ranks(&rel);
-            let brute = pws_expected_ranks(&rel);
+            let brute = pws_expected_ranks(&rel).unwrap();
             for (f, (a, b)) in fast.iter().zip(&brute).enumerate() {
                 assert!((a - b).abs() < 1e-9, "item {f}: fast {a} vs brute {b}");
             }
@@ -385,7 +429,7 @@ mod tests {
         rel.push_uncertain(d(&[0.45, 0.0, 0.0, 0.0, 0.55])); // bimodal: 0 or 4
         rel.push_certain(3); // safe: always 3
         rel.push_certain(2);
-        let (set, _) = u_topk(&rel, 1);
+        let (set, _) = u_topk(&rel, 1).unwrap();
         assert_eq!(set, vec![0], "U-Top1 picks the gambler");
         let er = expected_rank_topk(&rel, 1);
         assert_eq!(er[0].0, 1, "expected rank prefers the safe item");
@@ -402,5 +446,20 @@ mod tests {
         // All semantics agree that f3 is a Top-2 member here.
         assert!(cmp.u_topk.0.contains(&2));
         assert!(cmp.expected_rank.iter().any(|&(f, _)| f == 2));
+    }
+
+    #[test]
+    fn compare_semantics_matches_the_enumeration_oracles() {
+        let rel = table_1a();
+        let cmp = compare_semantics(&rel, 2, 0.5);
+        let (bf_set, bf_p) = u_topk(&rel, 2).unwrap();
+        assert_eq!(cmp.u_topk.0, bf_set);
+        assert!((cmp.u_topk.1 - bf_p).abs() < 1e-9);
+        let bf_ranks = u_kranks(&rel, 2).unwrap();
+        for (dp, bf) in cmp.u_kranks.iter().zip(&bf_ranks) {
+            assert_eq!(dp.0, bf.0);
+            assert!((dp.1 - bf.1).abs() < 1e-9);
+        }
+        assert_eq!(cmp.ptk, probabilistic_threshold_topk(&rel, 2, 0.5).unwrap());
     }
 }

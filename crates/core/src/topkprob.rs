@@ -173,7 +173,7 @@ mod tests {
         h.remove(&old);
         // answer {f3} has threshold bucket 0
         let fast = topk_prob(&h, 0);
-        let brute = topk_confidence_bruteforce(&rel, &[2], 1);
+        let brute = topk_confidence_bruteforce(&rel, &[2], 1).unwrap();
         assert!((fast - brute).abs() < 1e-12, "fast {fast} vs brute {brute}");
         assert!((fast - 0.78 * 0.49).abs() < 1e-12);
     }

@@ -126,6 +126,29 @@ impl UncertainRelation {
         }
     }
 
+    /// `Pr(S_f = bucket)` for any item: certain items are point masses.
+    pub fn pmf(&self, id: ItemId, bucket: usize) -> f64 {
+        match &self.items[id] {
+            ItemState::Uncertain(d) => d.pmf(bucket),
+            ItemState::Certain(b) => {
+                if *b as usize == bucket {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// `(lowest, highest)` bucket with positive mass for any item; a
+    /// certain item's support is the single bucket it was confirmed at.
+    pub fn support(&self, id: ItemId) -> (usize, usize) {
+        match &self.items[id] {
+            ItemState::Uncertain(d) => (d.support_min(), d.support_max()),
+            ItemState::Certain(b) => (*b as usize, *b as usize),
+        }
+    }
+
     /// Marks an item certain with its oracle-confirmed bucket, returning its
     /// previous distribution. Panics if it was already certain.
     pub fn clean(&mut self, id: ItemId, bucket: u32) -> DiscreteDist {
@@ -245,6 +268,19 @@ mod tests {
         assert_eq!(r.bucket_to_score(5), 2.5);
         assert_eq!(r.score_to_bucket(-3.0), 0);
         assert_eq!(r.score_to_bucket(1e9), 10);
+    }
+
+    #[test]
+    fn pmf_and_support_for_both_states() {
+        let mut r = UncertainRelation::new(1.0, 3);
+        r.push_uncertain(dist(&[0.0, 0.4, 0.6, 0.0]));
+        r.push_certain(2);
+        assert!((r.pmf(0, 1) - 0.4).abs() < 1e-12);
+        assert_eq!(r.pmf(0, 0), 0.0);
+        assert_eq!(r.support(0), (1, 2));
+        assert_eq!(r.pmf(1, 2), 1.0);
+        assert_eq!(r.pmf(1, 1), 0.0);
+        assert_eq!(r.support(1), (2, 2));
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn paper_running_example() {
     println!("Pr(W1 = (0,0,0)) = {w1:.4}   Pr(W2 = (1,0,0)) = {w2:.4}");
 
     // Top-1 = {f3} has confidence 0.85 under Eq. 1 …
-    let before = topk_confidence_bruteforce(&rel, &[2], 1);
+    let before = topk_confidence_bruteforce(&rel, &[2], 1).expect("27 worlds are enumerable");
     println!("Pr({{f3}} is Top-1) before cleaning = {before:.4} (paper: 0.85)");
 
     // … but the certain-result condition requires confirming f3 first.

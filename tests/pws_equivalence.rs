@@ -1,10 +1,12 @@
 //! Property tests: the fast confidence path (Eq. 2 via the incremental
-//! joint CDF) is equivalent to brute-force possible-world semantics
-//! (Eq. 1) on arbitrary relations, including under arbitrary cleaning
-//! sequences.
+//! joint CDF) and the closed-form Eq. 1 evaluation
+//! (`semantics_dp::topk_confidence`) are equivalent to brute-force
+//! possible-world semantics (Eq. 1 by enumeration) on arbitrary
+//! relations, including under arbitrary cleaning sequences.
 
 use everest::core::dist::DiscreteDist;
-use everest::core::pws::topk_confidence_bruteforce;
+use everest::core::pws::{count_worlds, enumerate_worlds, topk_confidence_bruteforce, MAX_WORLDS};
+use everest::core::semantics_dp::topk_confidence;
 use everest::core::topkprob::{topk_prob, topk_prob_naive, JointCdf};
 use everest::core::xtuple::UncertainRelation;
 use proptest::prelude::*;
@@ -104,8 +106,32 @@ proptest! {
 
         let h = JointCdf::build(&rel);
         let fast = topk_prob(&h, s_k);
-        let brute = topk_confidence_bruteforce(&rel, &answer, k);
+        let brute = topk_confidence_bruteforce(&rel, &answer, k).unwrap();
         prop_assert!((fast - brute).abs() < 1e-9, "fast {fast} vs brute {brute}");
+        // The closed-form Eq. 1 evaluation agrees with both.
+        let closed = topk_confidence(&rel, &answer, k);
+        prop_assert!((closed - brute).abs() < 1e-9, "closed {closed} vs brute {brute}");
+    }
+
+    /// The closed-form Eq. 1 confidence (`semantics_dp::topk_confidence`)
+    /// equals enumeration for *arbitrary* answers — certain or uncertain
+    /// members, any composition (not just the certain-result fast path).
+    #[test]
+    fn closed_form_confidence_equals_bruteforce(
+        rel in arb_relation(),
+        pick in proptest::collection::vec(0usize..6, 1..4),
+    ) {
+        // Derive a deterministic answer set of size ≤ n from the picks.
+        let mut answer: Vec<usize> = pick.iter().map(|&p| p % rel.len()).collect();
+        answer.sort_unstable();
+        answer.dedup();
+        let k = answer.len();
+        let closed = topk_confidence(&rel, &answer, k);
+        let brute = topk_confidence_bruteforce(&rel, &answer, k).unwrap();
+        prop_assert!(
+            (closed - brute).abs() < 1e-9,
+            "answer {answer:?}: closed {closed} vs brute {brute}"
+        );
     }
 
     /// Confidence is monotone in the threshold bucket.
@@ -120,4 +146,24 @@ proptest! {
         }
         prop_assert!((h.value(MAX_BUCKET) - 1.0).abs() < 1e-9);
     }
+}
+
+/// Oversized relations: enumeration refuses with a typed error while the
+/// closed-form Eq. 1 path still answers (the graceful-degradation story).
+#[test]
+fn oversized_relation_degrades_to_closed_form() {
+    let mut rel = UncertainRelation::new(1.0, 9);
+    let masses = vec![0.1; 10];
+    for _ in 0..30 {
+        rel.push_uncertain(DiscreteDist::from_masses(&masses));
+    }
+    assert!(count_worlds(&rel) > MAX_WORLDS);
+    let err = enumerate_worlds(&rel).expect_err("guard must trip");
+    assert!(err.to_string().contains("too large"));
+    assert!(topk_confidence_bruteforce(&rel, &[0, 1], 2).is_err());
+    // The closed form is exact and instant on the same relation.
+    let p = topk_confidence(&rel, &[0, 1], 2);
+    assert!((0.0..=1.0).contains(&p));
+    // 30 iid items: by symmetry the Top-2 confidence of any pair is small.
+    assert!(p < 0.1, "iid pair confidence {p}");
 }

@@ -1,36 +1,52 @@
 //! End-to-end window queries (§3.4): Top-K tumbling windows with sampled
 //! oracle confirmation, against exact window ground truth.
+//!
+//! All tests share one `PreparedVideo` (Phase 1 — CMDN training — is by
+//! far the dominant cost and is identical across them); each test runs
+//! its own Phase-2 queries against a fresh instrumented oracle.
 
 use everest::core::baselines::topk_indices;
 use everest::core::cleaner::CleanerConfig;
 use everest::core::metrics::{evaluate_topk, GroundTruth};
 use everest::core::phase1::Phase1Config;
-use everest::core::pipeline::Everest;
+use everest::core::pipeline::{Everest, PreparedVideo};
 use everest::core::window::exact_window_scores;
 use everest::models::{counting_oracle, InstrumentedOracle};
 use everest::nn::train::TrainConfig;
 use everest::nn::HyperGrid;
 use everest::video::arrival::{ArrivalConfig, Timeline};
 use everest::video::scene::{SceneConfig, SyntheticVideo};
+use std::sync::OnceLock;
 
+static PREPARED: OnceLock<(SyntheticVideo, PreparedVideo)> = OnceLock::new();
+
+/// One Phase 1 for the whole suite; re-preparing per test would repeat
+/// identical CMDN training (~25s each).
 fn setup() -> (
-    SyntheticVideo,
+    &'static SyntheticVideo,
+    &'static PreparedVideo,
     InstrumentedOracle<everest::models::ExactScoreOracle>,
 ) {
-    let tl = Timeline::generate(
-        &ArrivalConfig {
-            n_frames: 3_000,
-            base_intensity: 3.5,
-            diurnal_amplitude: 0.7,
-            burst_rate_per_10k: 8.0,
-            burst_boost: 3.0,
-            ..ArrivalConfig::default()
-        },
-        23,
-    );
-    let v = SyntheticVideo::new(SceneConfig::default(), tl, 23, 30.0);
-    let o = InstrumentedOracle::new(counting_oracle(&v));
-    (v, o)
+    let (video, prepared) = PREPARED.get_or_init(|| {
+        let tl = Timeline::generate(
+            &ArrivalConfig {
+                n_frames: 3_000,
+                base_intensity: 3.5,
+                diurnal_amplitude: 0.7,
+                burst_rate_per_10k: 8.0,
+                burst_boost: 3.0,
+                ..ArrivalConfig::default()
+            },
+            23,
+        );
+        let v = SyntheticVideo::new(SceneConfig::default(), tl, 23, 30.0);
+        let o = InstrumentedOracle::new(counting_oracle(&v));
+        let prepared = Everest::prepare(&v, &o, &phase1_cfg());
+        (v, prepared)
+    });
+    // Fresh per-test oracle: same deterministic scores, isolated counters.
+    let oracle = InstrumentedOracle::new(counting_oracle(video));
+    (video, prepared, oracle)
 }
 
 fn phase1_cfg() -> Phase1Config {
@@ -51,10 +67,9 @@ fn phase1_cfg() -> Phase1Config {
 
 #[test]
 fn window_query_finds_busy_windows() {
-    let (video, oracle) = setup();
+    let (_video, prepared, oracle) = setup();
     let window_len = 60;
     let k = 5;
-    let prepared = Everest::prepare(&video, &oracle, &phase1_cfg());
     let report =
         prepared.query_topk_windows(&oracle, k, 0.9, window_len, 0.2, &CleanerConfig::default());
     assert!(report.converged);
@@ -79,9 +94,8 @@ fn window_query_finds_busy_windows() {
 
 #[test]
 fn full_sampling_gives_exact_window_scores() {
-    let (video, oracle) = setup();
+    let (_video, prepared, oracle) = setup();
     let window_len = 50;
-    let prepared = Everest::prepare(&video, &oracle, &phase1_cfg());
     let report = prepared.query_topk_windows(
         &oracle,
         4,
@@ -104,8 +118,7 @@ fn full_sampling_gives_exact_window_scores() {
 
 #[test]
 fn larger_windows_need_more_oracle_frames_per_cleaning() {
-    let (video, oracle) = setup();
-    let prepared = Everest::prepare(&video, &oracle, &phase1_cfg());
+    let (_video, prepared, oracle) = setup();
     let small = prepared.query_topk_windows(&oracle, 5, 0.9, 30, 0.1, &CleanerConfig::default());
     let large = prepared.query_topk_windows(&oracle, 5, 0.9, 150, 0.1, &CleanerConfig::default());
     let per_clean_small = small.oracle_frames as f64 / small.cleaned.max(1) as f64;
@@ -118,8 +131,7 @@ fn larger_windows_need_more_oracle_frames_per_cleaning() {
 
 #[test]
 fn sliding_windows_find_the_same_peaks_with_finer_offsets() {
-    let (video, oracle) = setup();
-    let prepared = Everest::prepare(&video, &oracle, &phase1_cfg());
+    let (video, prepared, oracle) = setup();
     let (len, slide, k) = (60, 20, 5);
     let report = prepared.query_topk_sliding_windows(
         &oracle,

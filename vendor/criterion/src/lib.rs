@@ -10,7 +10,15 @@
 //! `cargo test`, which runs bench targets with no mode flag — executes
 //! every benchmark body exactly once, so bench code is exercised in CI
 //! without the timing loops.
+//!
+//! In measurement mode every median is additionally persisted as JSON to
+//! `target/bench_medians/<bench-binary>.json` (override the directory
+//! with `BENCH_MEDIANS_DIR`), one flat `{"label": ns_per_iter}` object
+//! per bench binary. The `bench_diff` tool in `everest-bench` diffs those
+//! files against the committed `bench_baseline.json` so perf PRs can
+//! prove their wins.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -93,6 +101,10 @@ impl Bencher {
     }
 }
 
+/// Medians collected in measurement mode, flushed by `criterion_main!`
+/// via [`write_medians`].
+static MEDIANS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
 fn report(label: &str, result: Option<(Duration, u64)>, test_mode: bool) {
     match result {
         Some(_) if test_mode => println!("bench {label}: ok (test mode)"),
@@ -106,8 +118,70 @@ fn report(label: &str, result: Option<(Duration, u64)>, test_mode: bool) {
                 format!("{:.2} ms", ns / 1_000_000.0)
             };
             println!("bench {label:<50} {formatted}/iter");
+            MEDIANS
+                .lock()
+                .expect("medians lock")
+                .push((label.to_string(), ns));
         }
         None => println!("bench {label}: no measurement (b.iter never called)"),
+    }
+}
+
+/// The current bench binary's name with cargo's `-<hash>` suffix stripped
+/// (e.g. `extensions-0f2a51c9d3e47b68` → `extensions`).
+fn bench_binary_stem() -> String {
+    let stem = std::env::args()
+        .next()
+        .as_deref()
+        .map(std::path::Path::new)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((head, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            head.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Writes all medians measured by this process to
+/// `target/bench_medians/<bench-binary>.json` (or `$BENCH_MEDIANS_DIR`),
+/// sorted by label for deterministic diffs. No-op when nothing was
+/// measured (test mode). Called by `criterion_main!` after all groups.
+pub fn write_medians() {
+    let mut medians = MEDIANS.lock().expect("medians lock").clone();
+    if medians.is_empty() {
+        return;
+    }
+    medians.sort_by(|a, b| a.0.cmp(&b.0));
+    let dir =
+        std::env::var("BENCH_MEDIANS_DIR").unwrap_or_else(|_| "target/bench_medians".to_string());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("criterion shim: cannot create {dir}: {e}");
+        return;
+    }
+    // Flat JSON object; labels are usually plain ASCII bench ids, but
+    // escape per the JSON grammar (not Rust's escape_default, whose
+    // \u{..} form JSON parsers reject).
+    let mut json = String::from("{\n");
+    for (i, (label, ns)) in medians.iter().enumerate() {
+        let mut escaped = String::with_capacity(label.len());
+        for c in label.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+                c => escaped.push(c),
+            }
+        }
+        json.push_str(&format!("  \"{escaped}\": {ns:?}"));
+        json.push_str(if i + 1 == medians.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("}\n");
+    let path = format!("{dir}/{}.json", bench_binary_stem());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("medians written to {path}"),
+        Err(e) => eprintln!("criterion shim: cannot write {path}: {e}"),
     }
 }
 
@@ -217,6 +291,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_medians();
         }
     };
 }
@@ -224,6 +299,27 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn medians_file_round_trips() {
+        let dir = std::env::temp_dir().join("criterion_shim_medians_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::env::set_var("BENCH_MEDIANS_DIR", &dir);
+        {
+            let mut medians = MEDIANS.lock().unwrap();
+            medians.push(("group/label/64".to_string(), 123.5));
+            // non-ASCII and apostrophes must stay valid JSON (raw UTF-8)
+            medians.push(("group/µs'path".to_string(), 1.0));
+        }
+        write_medians();
+        std::env::remove_var("BENCH_MEDIANS_DIR");
+        MEDIANS.lock().unwrap().clear();
+        let file = dir.join(format!("{}.json", bench_binary_stem()));
+        let json = std::fs::read_to_string(&file).expect("medians file written");
+        assert!(json.contains("\"group/label/64\": 123.5"), "{json}");
+        assert!(json.contains("\"group/µs'path\": 1.0"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn bench_function_runs_closure() {
