@@ -7,6 +7,8 @@
 //!   E[X_f] scan (`ablation_earlystop`);
 //! * `diff_detector/*` — clip-parallel scaling;
 //! * `cmdn_forward` / `quantize` / `window_build` — Phase-1 kernels;
+//! * `kernels/*` — the im2col + blocked-GEMM primitives behind the CMDN
+//!   conv layers (`everest_nn::kernels`);
 //! * `prefetch/*` — decode-cost traces in ψ order vs consumption order
 //!   (`ablation_prefetch`).
 
@@ -117,6 +119,55 @@ fn bench_cmdn_forward(c: &mut Criterion) {
     c.bench_function("cmdn_forward_32x32", |b| {
         b.iter(|| black_box(model.predict(black_box(&input))))
     });
+    // Batched inference: 16 frames through one GEMM per layer.
+    let batch = 16usize;
+    let inputs: Vec<f32> = (0..batch * 32 * 32)
+        .map(|i| (i as f32 * 0.007).sin().abs())
+        .collect();
+    c.bench_function("cmdn_forward_batch16_32x32", |b| {
+        b.iter(|| black_box(model.predict_many(black_box(&inputs))))
+    });
+}
+
+/// The GEMM / im2col micro-kernels behind the conv layers (see
+/// `everest_nn::kernels`): shapes match the default CMDN's hottest layer
+/// (conv3: 32×144 weight against 144×1024 packed patches ≈ one 16-sample
+/// minibatch of the 8×8 stage).
+fn bench_kernels(c: &mut Criterion) {
+    use everest_nn::kernels::{gemm, gemm_nt, im2col_3x3};
+    let mut group = c.benchmark_group("kernels");
+    let (m, n, k) = (32usize, 1024usize, 144usize);
+    let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.13).sin()).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect();
+    group.bench_function("gemm_32x1024x144", |bench| {
+        let mut out = vec![0.0f32; m * n];
+        bench.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            gemm(m, n, k, black_box(&a), black_box(&b), &mut out);
+            black_box(&out);
+        })
+    });
+    // Backward-weight shape: ∇out (32×1024) · colsᵀ (1024×144).
+    let gout: Vec<f32> = (0..m * n).map(|i| (i as f32 * 0.17).sin()).collect();
+    let cols_t: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.11).cos()).collect();
+    group.bench_function("gemm_nt_32x144x1024", |bench| {
+        let mut out = vec![0.0f32; m * k];
+        bench.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            gemm_nt(m, k, n, black_box(&gout), black_box(&cols_t), &mut out);
+            black_box(&out);
+        })
+    });
+    // im2col of a 16-sample minibatch of the first conv layer (1×32×32).
+    let input: Vec<f32> = (0..16 * 32 * 32).map(|i| (i as f32 * 0.01).sin()).collect();
+    group.bench_function("im2col_batch16_1x32x32", |bench| {
+        let mut cols = Vec::new();
+        bench.iter(|| {
+            im2col_3x3(black_box(&input), 1, 16, 32, 32, &mut cols);
+            black_box(&cols);
+        })
+    });
+    group.finish();
 }
 
 fn bench_quantize(c: &mut Criterion) {
@@ -195,6 +246,7 @@ criterion_group!(
     bench_select_candidate,
     bench_diff_detector,
     bench_cmdn_forward,
+    bench_kernels,
     bench_quantize,
     bench_window_build,
     bench_prefetch_traces,

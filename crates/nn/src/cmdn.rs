@@ -58,16 +58,16 @@ struct ConvBlock {
 }
 
 impl ConvBlock {
-    fn forward(&mut self, x: &[f32], train: bool) -> Vec<f32> {
-        let a = self.conv.forward(x, train);
+    fn forward_batch(&mut self, x: &[f32], batch: usize, train: bool) -> Vec<f32> {
+        let a = self.conv.forward_batch(x, batch, train);
         let b = self.relu.forward(&a, train);
-        self.pool.forward(&b, train)
+        self.pool.forward_batch(&b, batch, train)
     }
 
-    fn backward(&mut self, g: &[f32]) -> Vec<f32> {
+    fn backward_batch(&mut self, g: &[f32], batch: usize) -> Vec<f32> {
         let g = self.pool.backward(g);
         let g = self.relu.backward(&g);
-        self.conv.backward(&g)
+        self.conv.backward_batch(&g, batch)
     }
 }
 
@@ -150,6 +150,7 @@ impl Cmdn {
         }
     }
 
+    /// The hyper-parameters this model was built with.
     pub fn config(&self) -> &CmdnConfig {
         &self.cfg
     }
@@ -160,14 +161,67 @@ impl Cmdn {
     }
 
     fn forward_raw(&mut self, input: &[f32], train: bool) -> Vec<f32> {
-        assert_eq!(input.len(), self.input_len(), "CMDN input size mismatch");
-        let mut x = input.to_vec();
-        for b in &mut self.blocks {
-            x = b.forward(&x, train);
+        self.forward_raw_batch(input, 1, train)
+    }
+
+    /// Shape of the conv stack's output: `(channels, positions per channel)`.
+    fn feature_dims(&self) -> (usize, usize) {
+        let depth = self.cfg.conv_channels.len();
+        let ch = *self.cfg.conv_channels.last().expect("non-empty conv stack");
+        let pos = (self.cfg.input.0 >> depth) * (self.cfg.input.1 >> depth);
+        (ch, pos)
+    }
+
+    /// Repacks conv activations (`[c][s][pos]` batched layout) into
+    /// sample-major feature vectors (`[s][feat]`) for the dense head.
+    fn flatten_features(&self, x: &[f32], batch: usize) -> Vec<f32> {
+        let (ch, pos) = self.feature_dims();
+        let feat = ch * pos;
+        let mut out = vec![0.0f32; batch * feat];
+        for c in 0..ch {
+            for s in 0..batch {
+                out[s * feat + c * pos..s * feat + (c + 1) * pos]
+                    .copy_from_slice(&x[(c * batch + s) * pos..(c * batch + s + 1) * pos]);
+            }
         }
-        let x = self.fc1.forward(&x, train);
+        out
+    }
+
+    /// Inverse of [`Cmdn::flatten_features`], for the backward pass.
+    fn unflatten_features(&self, g: &[f32], batch: usize) -> Vec<f32> {
+        let (ch, pos) = self.feature_dims();
+        let feat = ch * pos;
+        let mut out = vec![0.0f32; batch * feat];
+        for c in 0..ch {
+            for s in 0..batch {
+                out[(c * batch + s) * pos..(c * batch + s + 1) * pos]
+                    .copy_from_slice(&g[s * feat + c * pos..s * feat + (c + 1) * pos]);
+            }
+        }
+        out
+    }
+
+    /// Batched body forward: `batch` sample-major grayscale inputs in one
+    /// buffer, one im2col + GEMM per conv layer for the whole minibatch,
+    /// returning the raw head outputs (`batch × 3g`, sample-major).
+    ///
+    /// (The grayscale inputs double as the `in_ch = 1` batched conv layout,
+    /// so no packing is needed on entry.)
+    fn forward_raw_batch(&mut self, inputs: &[f32], batch: usize, train: bool) -> Vec<f32> {
+        assert!(batch >= 1, "empty batch");
+        assert_eq!(
+            inputs.len(),
+            batch * self.input_len(),
+            "CMDN input size mismatch"
+        );
+        let mut x = inputs.to_vec();
+        for b in &mut self.blocks {
+            x = b.forward_batch(&x, batch, train);
+        }
+        let x = self.flatten_features(&x, batch);
+        let x = self.fc1.forward_batch(&x, batch, train);
         let x = self.fc1_relu.forward(&x, train);
-        self.fc2.forward(&x, train)
+        self.fc2.forward_batch(&x, batch, train)
     }
 
     /// Converts raw head outputs into mixture parameters.
@@ -196,7 +250,30 @@ impl Cmdn {
     /// Inference: the predicted score distribution for one input.
     pub fn predict(&mut self, input: &[f32]) -> GaussianMixture {
         let raw = self.forward_raw(input, false);
-        let p = self.to_params(&raw);
+        self.params_to_mixture(&self.to_params(&raw))
+    }
+
+    /// Batched inference: `inputs` packs `inputs.len() / input_len()`
+    /// sample-major frames; the whole minibatch runs through one GEMM per
+    /// layer. Returns one mixture per sample, in input order.
+    pub fn predict_many(&mut self, inputs: &[f32]) -> Vec<GaussianMixture> {
+        let ilen = self.input_len();
+        assert!(
+            ilen > 0 && inputs.len().is_multiple_of(ilen),
+            "predict_many inputs must pack whole samples"
+        );
+        let batch = inputs.len() / ilen;
+        if batch == 0 {
+            return Vec::new();
+        }
+        let raw = self.forward_raw_batch(inputs, batch, false);
+        let g3 = 3 * self.cfg.num_gaussians;
+        (0..batch)
+            .map(|s| self.params_to_mixture(&self.to_params(&raw[s * g3..(s + 1) * g3])))
+            .collect()
+    }
+
+    fn params_to_mixture(&self, p: &MdnParams) -> GaussianMixture {
         GaussianMixture::new(
             (0..self.cfg.num_gaussians)
                 .map(|j| Component {
@@ -213,50 +290,62 @@ impl Cmdn {
         -log_mixture_density(p, y)
     }
 
-    /// One training sample: forward, NLL, backward. Gradients accumulate
-    /// into the layer parameter buffers (call [`Cmdn::zero_grads`] between
-    /// batches). Returns the sample NLL.
+    /// One training sample: forward, NLL, backward — the `batch = 1` case
+    /// of [`Cmdn::train_step_batch`]. Returns the sample NLL.
     pub fn train_step(&mut self, input: &[f32], y: f64) -> f64 {
-        let raw = self.forward_raw(input, true);
-        let p = self.to_params(&raw);
+        self.train_step_batch(input, &[y])
+    }
+
+    /// One training **minibatch**: `inputs` packs `ys.len()` sample-major
+    /// frames; the whole batch runs through one GEMM per layer in both
+    /// directions. Gradients accumulate (summed over the batch) into the
+    /// layer parameter buffers — call [`Cmdn::zero_grads`] between batches.
+    /// Returns the summed NLL of the batch.
+    pub fn train_step_batch(&mut self, inputs: &[f32], ys: &[f64]) -> f64 {
+        let batch = ys.len();
+        let raw = self.forward_raw_batch(inputs, batch, true);
         let g = self.cfg.num_gaussians;
 
-        // Responsibilities γ_j = π_j φ_j / Σ_k π_k φ_k, in log space.
-        let log_phis: Vec<f64> = (0..g)
-            .map(|j| log_normal_pdf(y, p.mu[j], p.sigma[j]))
-            .collect();
-        let log_terms: Vec<f64> = (0..g)
-            .map(|j| p.pi[j].max(1e-300).ln() + log_phis[j])
-            .collect();
-        let log_density = log_sum_exp(&log_terms);
-        let gamma: Vec<f64> = log_terms
-            .iter()
-            .map(|&lt| (lt - log_density).exp())
-            .collect();
+        let mut grad_raw = vec![0.0f32; batch * 3 * g];
+        let mut total_nll = 0.0f64;
+        for (s, &y) in ys.iter().enumerate() {
+            let p = self.to_params(&raw[s * 3 * g..(s + 1) * 3 * g]);
+            // Responsibilities γ_j = π_j φ_j / Σ_k π_k φ_k, in log space.
+            let log_terms: Vec<f64> = (0..g)
+                .map(|j| p.pi[j].max(1e-300).ln() + log_normal_pdf(y, p.mu[j], p.sigma[j]))
+                .collect();
+            let log_density = log_sum_exp(&log_terms);
+            let gamma: Vec<f64> = log_terms
+                .iter()
+                .map(|&lt| (lt - log_density).exp())
+                .collect();
 
-        // Bishop's MDN gradients w.r.t. the raw head outputs.
-        let mut grad_raw = vec![0.0f32; 3 * g];
-        for j in 0..g {
-            // ∂NLL/∂α_j (softmax logits)
-            grad_raw[j] = (p.pi[j] - gamma[j]) as f32;
-            // ∂NLL/∂μ_j
-            let var = p.sigma[j] * p.sigma[j];
-            grad_raw[g + j] = (gamma[j] * (p.mu[j] - y) / var) as f32;
-            // ∂NLL/∂s_j where σ = σ_min + softplus(s):
-            // ∂NLL/∂σ_j = γ_j (1/σ − (y−μ)²/σ³); ∂σ/∂s = sigmoid(s)
-            let z2 = (y - p.mu[j]) * (y - p.mu[j]) / var;
-            let dsigma = gamma[j] * (1.0 - z2) / p.sigma[j];
-            grad_raw[2 * g + j] = (dsigma * sigmoid(p.raw_s[j])) as f32;
+            // Bishop's MDN gradients w.r.t. the raw head outputs.
+            let gr = &mut grad_raw[s * 3 * g..(s + 1) * 3 * g];
+            for j in 0..g {
+                // ∂NLL/∂α_j (softmax logits)
+                gr[j] = (p.pi[j] - gamma[j]) as f32;
+                // ∂NLL/∂μ_j
+                let var = p.sigma[j] * p.sigma[j];
+                gr[g + j] = (gamma[j] * (p.mu[j] - y) / var) as f32;
+                // ∂NLL/∂s_j where σ = σ_min + softplus(s):
+                // ∂NLL/∂σ_j = γ_j (1/σ − (y−μ)²/σ³); ∂σ/∂s = sigmoid(s)
+                let z2 = (y - p.mu[j]) * (y - p.mu[j]) / var;
+                let dsigma = gamma[j] * (1.0 - z2) / p.sigma[j];
+                gr[2 * g + j] = (dsigma * sigmoid(p.raw_s[j])) as f32;
+            }
+            total_nll += -log_density;
         }
 
-        // Backprop through the body.
-        let gr = self.fc2.backward(&grad_raw);
+        // Backprop through the body, whole minibatch per call.
+        let gr = self.fc2.backward_batch(&grad_raw, batch);
         let gr = self.fc1_relu.backward(&gr);
-        let mut gr = self.fc1.backward(&gr);
+        let gr = self.fc1.backward_batch(&gr, batch);
+        let mut gx = self.unflatten_features(&gr, batch);
         for b in self.blocks.iter_mut().rev() {
-            gr = b.backward(&gr);
+            gx = b.backward_batch(&gx, batch);
         }
-        -log_density
+        total_nll
     }
 
     /// Evaluation NLL of one sample without touching gradients.
@@ -264,6 +353,22 @@ impl Cmdn {
         let raw = self.forward_raw(input, false);
         let p = self.to_params(&raw);
         Self::nll(&p, y)
+    }
+
+    /// Per-sample evaluation NLLs of a minibatch (`inputs` packs
+    /// `ys.len()` sample-major frames), computed batched without touching
+    /// gradients.
+    pub fn eval_nll_batch(&mut self, inputs: &[f32], ys: &[f64]) -> Vec<f64> {
+        let batch = ys.len();
+        if batch == 0 {
+            return Vec::new();
+        }
+        let raw = self.forward_raw_batch(inputs, batch, false);
+        let g3 = 3 * self.cfg.num_gaussians;
+        ys.iter()
+            .enumerate()
+            .map(|(s, &y)| Self::nll(&self.to_params(&raw[s * g3..(s + 1) * g3]), y))
+            .collect()
     }
 
     /// Zeroes every gradient accumulator.

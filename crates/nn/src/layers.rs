@@ -1,11 +1,18 @@
 //! Neural-network layers with hand-derived backward passes.
 //!
-//! Everything operates on single samples (`&[f32]` buffers in
-//! channel-major layout); data parallelism across a mini-batch happens one
-//! level up in [`crate::train`]. Shapes are fixed at construction and
-//! asserted at the boundaries, so indexing inside the hot loops is safe by
-//! construction.
+//! Layers operate on **batched** channel-major buffers (see
+//! [`crate::kernels`] for the exact layout): every layer exposes
+//! `forward_batch` / `backward_batch` that push a whole minibatch through
+//! one im2col + GEMM (convolution) or one GEMM (dense) call, plus
+//! single-sample `forward` / `backward` conveniences that are the
+//! `batch = 1` special case. Shapes are fixed at construction and asserted
+//! at the boundaries.
+//!
+//! The original scalar triple-loop implementations survive in the
+//! `#[cfg(test)]` [`reference`] module as oracles for the GEMM-path
+//! equivalence tests.
 
+use crate::kernels;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -18,7 +25,9 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(from = "Vec<f32>", into = "Vec<f32>")]
 pub struct Param {
+    /// The weights.
     pub w: Vec<f32>,
+    /// The gradient accumulator, same shape as [`Param::w`].
     pub g: Vec<f32>,
 }
 
@@ -40,14 +49,17 @@ impl Param {
         Param { w, g }
     }
 
+    /// Number of scalar parameters.
     pub fn len(&self) -> usize {
         self.w.len()
     }
 
+    /// True when the tensor holds no parameters.
     pub fn is_empty(&self) -> bool {
         self.w.is_empty()
     }
 
+    /// Resets the gradient accumulator to zero.
     pub fn zero_grad(&mut self) {
         self.g.iter_mut().for_each(|g| *g = 0.0);
     }
@@ -65,20 +77,51 @@ fn gaussian32(rng: &mut StdRng) -> f32 {
     ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
 }
 
+/// Reusable im2col / packing scratch of a convolution layer (excluded from
+/// serialization and rebuilt empty on deserialize; buffers grow on first
+/// use and are reused across calls).
+#[derive(Debug, Clone, Default)]
+struct ConvScratch {
+    /// Packed 3×3 patches, `(in_ch·9) × (batch·h·w)`.
+    cols: Vec<f32>,
+    /// Gradient w.r.t. the packed patches (backward data pass).
+    gcols: Vec<f32>,
+    /// Transposed weight matrix `Wᵀ`, `(in_ch·9) × out_ch`.
+    wt: Vec<f32>,
+}
+
 /// 3×3 convolution, stride 1, zero padding 1 (spatial dims preserved).
+///
+/// The forward/backward passes lower onto im2col + blocked GEMM (see
+/// [`crate::kernels`]); one call processes a whole minibatch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Conv3x3 {
+    /// Input channels.
     pub in_ch: usize,
+    /// Output channels.
     pub out_ch: usize,
+    /// Spatial height (preserved by the convolution).
     pub h: usize,
+    /// Spatial width (preserved by the convolution).
     pub w: usize,
-    pub weight: Param, // [out][in][3][3]
-    pub bias: Param,   // [out]
+    /// Kernel weights, shape `[out_ch][in_ch][3][3]`.
+    pub weight: Param,
+    /// Per-output-channel bias, shape `[out_ch]`.
+    pub bias: Param,
     #[serde(skip)]
     cached_input: Vec<f32>,
+    #[serde(skip)]
+    cached_batch: usize,
+    /// True while `scratch.cols` still holds the packed patches of the
+    /// last train-mode forward (lets backward skip the re-pack).
+    #[serde(skip)]
+    cols_from_train: bool,
+    #[serde(skip)]
+    scratch: ConvScratch,
 }
 
 impl Conv3x3 {
+    /// Builds a conv layer with He-normal weights and zero bias.
     pub fn new(in_ch: usize, out_ch: usize, h: usize, w: usize, rng: &mut StdRng) -> Self {
         let fan_in = in_ch * 9;
         Conv3x3 {
@@ -89,97 +132,161 @@ impl Conv3x3 {
             weight: Param::new(he_init(rng, out_ch * in_ch * 9, fan_in)),
             bias: Param::new(vec![0.0; out_ch]),
             cached_input: Vec::new(),
+            cached_batch: 0,
+            cols_from_train: false,
+            scratch: ConvScratch::default(),
         }
     }
 
+    /// Input length of one sample (`in_ch · h · w`).
     pub fn input_len(&self) -> usize {
         self.in_ch * self.h * self.w
     }
 
+    /// Output length of one sample (`out_ch · h · w`).
     pub fn output_len(&self) -> usize {
         self.out_ch * self.h * self.w
     }
 
+    /// Single-sample forward pass — the `batch = 1` case of
+    /// [`Conv3x3::forward_batch`].
+    ///
+    /// ```
+    /// use everest_nn::layers::{init_rng, Conv3x3};
+    ///
+    /// let mut rng = init_rng(0);
+    /// let mut conv = Conv3x3::new(1, 4, 8, 8, &mut rng);
+    /// let input = vec![0.5f32; conv.input_len()];
+    /// let out = conv.forward(&input, false);
+    /// assert_eq!(out.len(), conv.output_len()); // 4 × 8 × 8
+    /// ```
     pub fn forward(&mut self, input: &[f32], train: bool) -> Vec<f32> {
-        assert_eq!(input.len(), self.input_len(), "conv input size mismatch");
+        self.forward_batch(input, 1, train)
+    }
+
+    /// Batched forward pass over `batch` samples in the channel-major
+    /// batched layout of [`crate::kernels`]: im2col packs all patches of
+    /// the whole minibatch, then one blocked GEMM against the weight
+    /// matrix computes every output channel of every sample.
+    ///
+    /// With `train = true` the input is cached for
+    /// [`Conv3x3::backward_batch`].
+    ///
+    /// ```
+    /// use everest_nn::layers::{init_rng, Conv3x3};
+    ///
+    /// let mut rng = init_rng(0);
+    /// let mut conv = Conv3x3::new(1, 2, 4, 4, &mut rng);
+    /// let batch = 3;
+    /// let inputs = vec![0.25f32; batch * conv.input_len()];
+    /// let out = conv.forward_batch(&inputs, batch, false);
+    /// assert_eq!(out.len(), batch * conv.output_len());
+    /// ```
+    pub fn forward_batch(&mut self, input: &[f32], batch: usize, train: bool) -> Vec<f32> {
+        assert!(batch >= 1, "empty batch");
+        assert_eq!(
+            input.len(),
+            batch * self.input_len(),
+            "conv input size mismatch"
+        );
         if train {
             self.cached_input = input.to_vec();
+            self.cached_batch = batch;
         }
-        let (h, w) = (self.h, self.w);
-        let mut out = vec![0.0f32; self.output_len()];
-        for o in 0..self.out_ch {
-            let b = self.bias.w[o];
-            for y in 0..h {
-                for x in 0..w {
-                    let mut acc = b;
-                    for i in 0..self.in_ch {
-                        let wbase = ((o * self.in_ch + i) * 3) * 3;
-                        let ibase = i * h * w;
-                        for ky in 0..3usize {
-                            let iy = y as isize + ky as isize - 1;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let row = ibase + iy as usize * w;
-                            for kx in 0..3usize {
-                                let ix = x as isize + kx as isize - 1;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                acc +=
-                                    input[row + ix as usize] * self.weight.w[wbase + ky * 3 + kx];
-                            }
-                        }
-                    }
-                    out[(o * h + y) * w + x] = acc;
-                }
-            }
-        }
+        let n = batch * self.h * self.w;
+        let k = self.in_ch * 9;
+        kernels::im2col_3x3(
+            input,
+            self.in_ch,
+            batch,
+            self.h,
+            self.w,
+            &mut self.scratch.cols,
+        );
+        self.cols_from_train = train;
+        let mut out = vec![0.0f32; self.out_ch * n];
+        kernels::gemm(
+            self.out_ch,
+            n,
+            k,
+            &self.weight.w,
+            &self.scratch.cols,
+            &mut out,
+        );
+        kernels::add_row_bias(&mut out, self.out_ch, n, &self.bias.w);
         out
     }
 
-    /// Accumulates weight/bias gradients and returns the input gradient.
+    /// Single-sample backward pass — the `batch = 1` case of
+    /// [`Conv3x3::backward_batch`].
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
-        assert_eq!(grad_out.len(), self.output_len(), "conv grad size mismatch");
-        assert!(
-            !self.cached_input.is_empty(),
-            "backward before forward(train=true)"
+        self.backward_batch(grad_out, 1)
+    }
+
+    /// Batched backward pass: accumulates weight/bias gradients (`+=`) and
+    /// returns the input gradient for the whole minibatch.
+    ///
+    /// The weight gradient is one `∇out · colsᵀ` GEMM against the packed
+    /// patches of the cached input (reused from the train-mode forward
+    /// when still valid); the data gradient is one `Wᵀ · ∇out` GEMM
+    /// followed by a col2im scatter-add.
+    pub fn backward_batch(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(
+            grad_out.len(),
+            batch * self.output_len(),
+            "conv grad size mismatch"
         );
-        let (h, w) = (self.h, self.w);
-        let input = &self.cached_input;
-        let mut grad_in = vec![0.0f32; self.input_len()];
-        for o in 0..self.out_ch {
-            let obase = o * h * w;
-            for y in 0..h {
-                for x in 0..w {
-                    let go = grad_out[obase + y * w + x];
-                    if go == 0.0 {
-                        continue;
-                    }
-                    self.bias.g[o] += go;
-                    for i in 0..self.in_ch {
-                        let wbase = ((o * self.in_ch + i) * 3) * 3;
-                        let ibase = i * h * w;
-                        for ky in 0..3usize {
-                            let iy = y as isize + ky as isize - 1;
-                            if iy < 0 || iy >= h as isize {
-                                continue;
-                            }
-                            let row = ibase + iy as usize * w;
-                            for kx in 0..3usize {
-                                let ix = x as isize + kx as isize - 1;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                let widx = wbase + ky * 3 + kx;
-                                self.weight.g[widx] += go * input[row + ix as usize];
-                                grad_in[row + ix as usize] += go * self.weight.w[widx];
-                            }
-                        }
-                    }
-                }
-            }
+        assert!(
+            batch == self.cached_batch && !self.cached_input.is_empty(),
+            "backward before forward(train=true) with the same batch"
+        );
+        let n = batch * self.h * self.w;
+        let k = self.in_ch * 9;
+        // Bias gradient: per-channel row sums.
+        kernels::add_row_sums(grad_out, self.out_ch, n, &mut self.bias.g);
+        // Weight gradient: ∇W += ∇out · colsᵀ. The train-mode forward
+        // usually left the packed patches in scratch; re-pack only when an
+        // eval forward has clobbered them since.
+        if !self.cols_from_train {
+            kernels::im2col_3x3(
+                &self.cached_input,
+                self.in_ch,
+                batch,
+                self.h,
+                self.w,
+                &mut self.scratch.cols,
+            );
+            self.cols_from_train = true;
         }
+        kernels::gemm_nt(
+            self.out_ch,
+            k,
+            n,
+            grad_out,
+            &self.scratch.cols,
+            &mut self.weight.g,
+        );
+        // Data gradient: ∇cols = Wᵀ · ∇out, then scatter back to the input.
+        kernels::transpose(&self.weight.w, self.out_ch, k, &mut self.scratch.wt);
+        self.scratch.gcols.clear();
+        self.scratch.gcols.resize(k * n, 0.0);
+        kernels::gemm(
+            k,
+            n,
+            self.out_ch,
+            &self.scratch.wt,
+            grad_out,
+            &mut self.scratch.gcols,
+        );
+        let mut grad_in = vec![0.0f32; batch * self.input_len()];
+        kernels::col2im_add_3x3(
+            &self.scratch.gcols,
+            self.in_ch,
+            batch,
+            self.h,
+            self.w,
+            &mut grad_in,
+        );
         grad_in
     }
 }
@@ -187,14 +294,18 @@ impl Conv3x3 {
 /// 2×2 max-pooling with stride 2. Requires even spatial dimensions.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MaxPool2x2 {
+    /// Channels (unchanged by pooling).
     pub ch: usize,
+    /// Input spatial height (output is `h / 2`).
     pub h: usize,
+    /// Input spatial width (output is `w / 2`).
     pub w: usize,
     #[serde(skip)]
     argmax: Vec<u32>,
 }
 
 impl MaxPool2x2 {
+    /// Builds a pooling layer; panics unless both spatial dims are even.
     pub fn new(ch: usize, h: usize, w: usize) -> Self {
         assert!(
             h.is_multiple_of(2) && w.is_multiple_of(2),
@@ -208,43 +319,56 @@ impl MaxPool2x2 {
         }
     }
 
+    /// Input length of one sample (`ch · h · w`).
     pub fn input_len(&self) -> usize {
         self.ch * self.h * self.w
     }
 
+    /// Output length of one sample (`ch · h/2 · w/2`).
     pub fn output_len(&self) -> usize {
         self.ch * (self.h / 2) * (self.w / 2)
     }
 
+    /// Single-sample forward — the `batch = 1` case of
+    /// [`MaxPool2x2::forward_batch`].
     pub fn forward(&mut self, input: &[f32], train: bool) -> Vec<f32> {
-        assert_eq!(input.len(), self.input_len());
+        self.forward_batch(input, 1, train)
+    }
+
+    /// Batched forward pass in the channel-major batched layout. With
+    /// `train = true` records the argmax positions for
+    /// [`MaxPool2x2::backward`].
+    pub fn forward_batch(&mut self, input: &[f32], batch: usize, train: bool) -> Vec<f32> {
+        assert_eq!(input.len(), batch * self.input_len());
         let (h, w) = (self.h, self.w);
         let (oh, ow) = (h / 2, w / 2);
-        let mut out = vec![0.0f32; self.output_len()];
+        let mut out = vec![0.0f32; batch * self.output_len()];
         let mut argmax = if train {
-            vec![0u32; self.output_len()]
+            vec![0u32; batch * self.output_len()]
         } else {
             Vec::new()
         };
         for c in 0..self.ch {
-            let ibase = c * h * w;
-            let obase = c * oh * ow;
-            for y in 0..oh {
-                for x in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let idx = ibase + (2 * y + dy) * w + (2 * x + dx);
-                            if input[idx] > best {
-                                best = input[idx];
-                                best_idx = idx;
+            for s in 0..batch {
+                let ibase = (c * batch + s) * h * w;
+                let obase = (c * batch + s) * oh * ow;
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = ibase + (2 * y + dy) * w + (2 * x + dx);
+                                if input[idx] > best {
+                                    best = input[idx];
+                                    best_idx = idx;
+                                }
                             }
                         }
-                    }
-                    out[obase + y * ow + x] = best;
-                    if train {
-                        argmax[obase + y * ow + x] = best_idx as u32;
+                        out[obase + y * ow + x] = best;
+                        if train {
+                            argmax[obase + y * ow + x] = best_idx as u32;
+                        }
                     }
                 }
             }
@@ -255,13 +379,17 @@ impl MaxPool2x2 {
         out
     }
 
+    /// Routes each output gradient back to the input cell that won the
+    /// max (works for whatever batch the previous `forward_batch(train =
+    /// true)` processed).
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
-        assert_eq!(grad_out.len(), self.output_len());
         assert!(
             !self.argmax.is_empty(),
             "backward before forward(train=true)"
         );
-        let mut grad_in = vec![0.0f32; self.input_len()];
+        assert_eq!(grad_out.len(), self.argmax.len());
+        let batch = self.argmax.len() / self.output_len();
+        let mut grad_in = vec![0.0f32; batch * self.input_len()];
         for (i, &go) in grad_out.iter().enumerate() {
             grad_in[self.argmax[i] as usize] += go;
         }
@@ -269,7 +397,7 @@ impl MaxPool2x2 {
     }
 }
 
-/// Elementwise ReLU.
+/// Elementwise ReLU (layout- and batch-agnostic).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Relu {
     #[serde(skip)]
@@ -277,10 +405,14 @@ pub struct Relu {
 }
 
 impl Relu {
+    /// Builds a ReLU activation.
     pub fn new() -> Self {
         Relu { mask: Vec::new() }
     }
 
+    /// `max(x, 0)` elementwise; with `train = true` records the active
+    /// mask for [`Relu::backward`]. Works on buffers of any length, so
+    /// batched activations need no separate entry point.
     pub fn forward(&mut self, input: &[f32], train: bool) -> Vec<f32> {
         if train {
             self.mask = input.iter().map(|&x| x > 0.0).collect();
@@ -288,6 +420,7 @@ impl Relu {
         input.iter().map(|&x| x.max(0.0)).collect()
     }
 
+    /// Zeroes the gradient wherever the forward input was non-positive.
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
         assert_eq!(
             grad_out.len(),
@@ -302,18 +435,34 @@ impl Relu {
     }
 }
 
-/// Fully-connected layer.
+/// Reusable packing scratch of a dense layer (not serialized).
+#[derive(Debug, Clone, Default)]
+struct DenseScratch {
+    /// Transposed output gradient, `out_dim × batch` (weight gradient).
+    got: Vec<f32>,
+}
+
+/// Fully-connected layer; batched passes are single GEMM calls.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dense {
+    /// Input features per sample.
     pub in_dim: usize,
+    /// Output features per sample.
     pub out_dim: usize,
-    pub weight: Param, // [out][in]
-    pub bias: Param,   // [out]
+    /// Weights, shape `[out_dim][in_dim]`.
+    pub weight: Param,
+    /// Bias, shape `[out_dim]`.
+    pub bias: Param,
     #[serde(skip)]
     cached_input: Vec<f32>,
+    #[serde(skip)]
+    cached_batch: usize,
+    #[serde(skip)]
+    scratch: DenseScratch,
 }
 
 impl Dense {
+    /// Builds a dense layer with He-normal weights and zero bias.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
         Dense {
             in_dim,
@@ -321,44 +470,88 @@ impl Dense {
             weight: Param::new(he_init(rng, out_dim * in_dim, in_dim)),
             bias: Param::new(vec![0.0; out_dim]),
             cached_input: Vec::new(),
+            cached_batch: 0,
+            scratch: DenseScratch::default(),
         }
     }
 
+    /// Single-sample forward — the `batch = 1` case of
+    /// [`Dense::forward_batch`].
     pub fn forward(&mut self, input: &[f32], train: bool) -> Vec<f32> {
-        assert_eq!(input.len(), self.in_dim, "dense input size mismatch");
+        self.forward_batch(input, 1, train)
+    }
+
+    /// Batched forward pass: inputs are sample-major (`batch × in_dim`
+    /// row-major), the output is `batch × out_dim`. One `X · Wᵀ` GEMM
+    /// ([`kernels::gemm_nt`], which reads the `[out][in]` weights directly
+    /// — no transpose pass) computes the whole minibatch.
+    pub fn forward_batch(&mut self, input: &[f32], batch: usize, train: bool) -> Vec<f32> {
+        assert!(batch >= 1, "empty batch");
+        assert_eq!(
+            input.len(),
+            batch * self.in_dim,
+            "dense input size mismatch"
+        );
         if train {
             self.cached_input = input.to_vec();
+            self.cached_batch = batch;
         }
-        let mut out = self.bias.w.clone();
-        for o in 0..self.out_dim {
-            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = 0.0f32;
-            for (wi, xi) in row.iter().zip(input.iter()) {
-                acc += wi * xi;
-            }
-            out[o] += acc;
+        let mut out = Vec::with_capacity(batch * self.out_dim);
+        for _ in 0..batch {
+            out.extend_from_slice(&self.bias.w);
         }
+        kernels::gemm_nt(
+            batch,
+            self.out_dim,
+            self.in_dim,
+            input,
+            &self.weight.w,
+            &mut out,
+        );
         out
     }
 
+    /// Single-sample backward — the `batch = 1` case of
+    /// [`Dense::backward_batch`].
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
-        assert_eq!(grad_out.len(), self.out_dim);
+        self.backward_batch(grad_out, 1)
+    }
+
+    /// Batched backward pass: accumulates weight/bias gradients and
+    /// returns the `batch × in_dim` input gradient, each as one GEMM.
+    pub fn backward_batch(&mut self, grad_out: &[f32], batch: usize) -> Vec<f32> {
+        assert_eq!(grad_out.len(), batch * self.out_dim);
         assert!(
-            !self.cached_input.is_empty(),
-            "backward before forward(train=true)"
+            batch == self.cached_batch && !self.cached_input.is_empty(),
+            "backward before forward(train=true) with the same batch"
         );
-        let input = &self.cached_input;
-        let mut grad_in = vec![0.0f32; self.in_dim];
-        for o in 0..self.out_dim {
-            let go = grad_out[o];
-            self.bias.g[o] += go;
-            let row_w = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
-            let row_g = &mut self.weight.g[o * self.in_dim..(o + 1) * self.in_dim];
-            for i in 0..self.in_dim {
-                row_g[i] += go * input[i];
-                grad_in[i] += go * row_w[i];
+        // Bias gradient: column sums in ascending-sample order.
+        for s in 0..batch {
+            let row = &grad_out[s * self.out_dim..(s + 1) * self.out_dim];
+            for (g, &go) in self.bias.g.iter_mut().zip(row) {
+                *g += go;
             }
         }
+        // Weight gradient: ∇W += ∇outᵀ · X.
+        kernels::transpose(grad_out, batch, self.out_dim, &mut self.scratch.got);
+        kernels::gemm(
+            self.out_dim,
+            self.in_dim,
+            batch,
+            &self.scratch.got,
+            &self.cached_input,
+            &mut self.weight.g,
+        );
+        // Input gradient: ∇X = ∇out · W.
+        let mut grad_in = vec![0.0f32; batch * self.in_dim];
+        kernels::gemm(
+            batch,
+            self.in_dim,
+            self.out_dim,
+            grad_out,
+            &self.weight.w,
+            &mut grad_in,
+        );
         grad_in
     }
 }
@@ -368,9 +561,127 @@ pub fn init_rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Scalar triple-loop reference implementations — the pre-GEMM layer
+/// code, kept as the oracle the equivalence property tests compare
+/// against.
+#[cfg(test)]
+pub(crate) mod reference {
+    /// Scalar 3×3 pad-1 convolution forward (single sample).
+    pub fn conv3x3_forward(
+        in_ch: usize,
+        out_ch: usize,
+        h: usize,
+        w: usize,
+        weight: &[f32],
+        bias: &[f32],
+        input: &[f32],
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; out_ch * h * w];
+        for o in 0..out_ch {
+            let b = bias[o];
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = b;
+                    for i in 0..in_ch {
+                        let wbase = ((o * in_ch + i) * 3) * 3;
+                        let ibase = i * h * w;
+                        for ky in 0..3usize {
+                            let iy = y as isize + ky as isize - 1;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let row = ibase + iy as usize * w;
+                            for kx in 0..3usize {
+                                let ix = x as isize + kx as isize - 1;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input[row + ix as usize] * weight[wbase + ky * 3 + kx];
+                            }
+                        }
+                    }
+                    out[(o * h + y) * w + x] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar conv backward (single sample): returns
+    /// `(grad_in, grad_weight, grad_bias)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv3x3_backward(
+        in_ch: usize,
+        out_ch: usize,
+        h: usize,
+        w: usize,
+        weight: &[f32],
+        input: &[f32],
+        grad_out: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut grad_in = vec![0.0f32; in_ch * h * w];
+        let mut grad_w = vec![0.0f32; out_ch * in_ch * 9];
+        let mut grad_b = vec![0.0f32; out_ch];
+        for o in 0..out_ch {
+            let obase = o * h * w;
+            for y in 0..h {
+                for x in 0..w {
+                    let go = grad_out[obase + y * w + x];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    grad_b[o] += go;
+                    for i in 0..in_ch {
+                        let wbase = ((o * in_ch + i) * 3) * 3;
+                        let ibase = i * h * w;
+                        for ky in 0..3usize {
+                            let iy = y as isize + ky as isize - 1;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let row = ibase + iy as usize * w;
+                            for kx in 0..3usize {
+                                let ix = x as isize + kx as isize - 1;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let widx = wbase + ky * 3 + kx;
+                                grad_w[widx] += go * input[row + ix as usize];
+                                grad_in[row + ix as usize] += go * weight[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (grad_in, grad_w, grad_b)
+    }
+
+    /// Scalar dense forward (single sample).
+    pub fn dense_forward(
+        in_dim: usize,
+        out_dim: usize,
+        weight: &[f32],
+        bias: &[f32],
+        input: &[f32],
+    ) -> Vec<f32> {
+        let mut out = bias.to_vec();
+        for o in 0..out_dim {
+            let row = &weight[o * in_dim..(o + 1) * in_dim];
+            let mut acc = 0.0f32;
+            for (wi, xi) in row.iter().zip(input.iter()) {
+                acc += wi * xi;
+            }
+            out[o] += acc;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn conv_identity_kernel() {
@@ -477,6 +788,28 @@ mod tests {
     }
 
     #[test]
+    fn pool_batched_matches_per_sample() {
+        let mut rng = init_rng(13);
+        let mut pool = MaxPool2x2::new(2, 4, 4);
+        let batch = 3;
+        let hw = 16;
+        let per_sample: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..2 * hw).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let batched = pack_batched(&per_sample, 2, hw);
+        let out = pool.forward_batch(&batched, batch, false);
+        let mut single = MaxPool2x2::new(2, 4, 4);
+        for (s, sample) in per_sample.iter().enumerate() {
+            let o = single.forward(sample, false);
+            for c in 0..2 {
+                for pos in 0..4 {
+                    assert_eq!(out[(c * batch + s) * 4 + pos], o[c * 4 + pos], "c{c} s{s}");
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "even dims")]
     fn pool_rejects_odd_dims() {
         let _ = MaxPool2x2::new(1, 3, 4);
@@ -528,6 +861,51 @@ mod tests {
     }
 
     #[test]
+    fn dense_batched_matches_per_sample() {
+        let mut rng = init_rng(21);
+        let mut d = Dense::new(7, 5, &mut rng);
+        let batch = 4;
+        let inputs: Vec<f32> = (0..batch * 7).map(|i| (i as f32 * 0.23).sin()).collect();
+        let out = d.forward_batch(&inputs, batch, true);
+        let mut single = Dense::new(7, 5, &mut init_rng(21));
+        for s in 0..batch {
+            let o = single.forward(&inputs[s * 7..(s + 1) * 7], false);
+            assert_eq!(&out[s * 5..(s + 1) * 5], &o[..], "sample {s}");
+        }
+        // batched backward grads = sum of per-sample grads
+        let gout: Vec<f32> = (0..batch * 5).map(|i| (i as f32 * 0.31).cos()).collect();
+        let gin = d.backward_batch(&gout, batch);
+        let mut gw_ref = [0.0f32; 5 * 7];
+        let mut gb_ref = [0.0f32; 5];
+        for s in 0..batch {
+            let x = &inputs[s * 7..(s + 1) * 7];
+            let go = &gout[s * 5..(s + 1) * 5];
+            for o in 0..5 {
+                gb_ref[o] += go[o];
+                for i in 0..7 {
+                    gw_ref[o * 7 + i] += go[o] * x[i];
+                }
+            }
+            // per-sample grad_in check
+            let mut gin_ref = [0.0f32; 7];
+            for o in 0..5 {
+                for i in 0..7 {
+                    gin_ref[i] += go[o] * d.weight.w[o * 7 + i];
+                }
+            }
+            for i in 0..7 {
+                assert!((gin[s * 7 + i] - gin_ref[i]).abs() < 1e-5, "gin s{s} i{i}");
+            }
+        }
+        for (a, b) in d.weight.g.iter().zip(gw_ref.iter()) {
+            assert!((a - b).abs() < 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        for (a, b) in d.bias.g.iter().zip(gb_ref.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
     fn he_init_scale_is_reasonable() {
         let mut rng = init_rng(4);
         let w = he_init(&mut rng, 10_000, 100);
@@ -536,5 +914,141 @@ mod tests {
             (var - 0.02).abs() < 0.005,
             "He variance {var} should be ≈ 2/100"
         );
+    }
+
+    /// Packs per-sample channel-major buffers into the batched layout.
+    fn pack_batched(samples: &[Vec<f32>], ch: usize, hw: usize) -> Vec<f32> {
+        let batch = samples.len();
+        let mut out = vec![0.0f32; ch * batch * hw];
+        for c in 0..ch {
+            for (s, sample) in samples.iter().enumerate() {
+                out[(c * batch + s) * hw..(c * batch + s + 1) * hw]
+                    .copy_from_slice(&sample[c * hw..(c + 1) * hw]);
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// GEMM conv forward ≡ scalar oracle on random shapes, including
+        /// non-square spatial dims and the ch = 1 edge cases.
+        #[test]
+        fn conv_forward_gemm_equals_scalar(
+            in_ch in 1usize..4,
+            out_ch in 1usize..5,
+            h in 1usize..9,
+            w in 1usize..9,
+            seed in 0u64..1_000,
+        ) {
+            let mut rng = init_rng(seed);
+            let mut conv = Conv3x3::new(in_ch, out_ch, h, w, &mut rng);
+            for b in conv.bias.w.iter_mut() {
+                *b = rng.gen_range(-0.5..0.5);
+            }
+            let input: Vec<f32> = (0..conv.input_len())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let fast = conv.forward(&input, false);
+            let slow = reference::conv3x3_forward(
+                in_ch, out_ch, h, w, &conv.weight.w, &conv.bias.w, &input,
+            );
+            for (i, (a, b)) in fast.iter().zip(slow.iter()).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                    "({}, {}, {}, {}) idx {}: {} vs {}", in_ch, out_ch, h, w, i, a, b
+                );
+            }
+        }
+
+        /// GEMM conv backward ≡ scalar oracle: input, weight, and bias
+        /// gradients all match within tolerance.
+        #[test]
+        fn conv_backward_gemm_equals_scalar(
+            in_ch in 1usize..4,
+            out_ch in 1usize..4,
+            h in 1usize..7,
+            w in 1usize..7,
+            seed in 0u64..1_000,
+        ) {
+            let mut rng = init_rng(seed.wrapping_add(77));
+            let mut conv = Conv3x3::new(in_ch, out_ch, h, w, &mut rng);
+            let input: Vec<f32> = (0..conv.input_len())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let grad_out: Vec<f32> = (0..conv.output_len())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            let _ = conv.forward(&input, true);
+            conv.weight.zero_grad();
+            conv.bias.zero_grad();
+            let gin = conv.backward(&grad_out);
+            let (gin_ref, gw_ref, gb_ref) = reference::conv3x3_backward(
+                in_ch, out_ch, h, w, &conv.weight.w, &input, &grad_out,
+            );
+            for (a, b) in gin.iter().zip(gin_ref.iter()) {
+                prop_assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "gin {} vs {}", a, b);
+            }
+            for (a, b) in conv.weight.g.iter().zip(gw_ref.iter()) {
+                prop_assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "gw {} vs {}", a, b);
+            }
+            for (a, b) in conv.bias.g.iter().zip(gb_ref.iter()) {
+                prop_assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "gb {} vs {}", a, b);
+            }
+        }
+
+        /// Batched conv forward ≡ per-sample scalar oracle: one GEMM over
+        /// the whole minibatch must agree with running each sample alone.
+        #[test]
+        fn conv_forward_batched_equals_scalar_per_sample(
+            in_ch in 1usize..3,
+            out_ch in 1usize..4,
+            h in 1usize..6,
+            w in 1usize..6,
+            batch in 1usize..5,
+            seed in 0u64..1_000,
+        ) {
+            let mut rng = init_rng(seed.wrapping_add(311));
+            let mut conv = Conv3x3::new(in_ch, out_ch, h, w, &mut rng);
+            let hw = h * w;
+            let samples: Vec<Vec<f32>> = (0..batch)
+                .map(|_| (0..in_ch * hw).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
+            let batched = pack_batched(&samples, in_ch, hw);
+            let out = conv.forward_batch(&batched, batch, false);
+            for (s, sample) in samples.iter().enumerate() {
+                let slow = reference::conv3x3_forward(
+                    in_ch, out_ch, h, w, &conv.weight.w, &conv.bias.w, sample,
+                );
+                for c in 0..out_ch {
+                    for pos in 0..hw {
+                        let a = out[(c * batch + s) * hw + pos];
+                        let b = slow[c * hw + pos];
+                        prop_assert!(
+                            (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                            "s{} c{} pos{}: {} vs {}", s, c, pos, a, b
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Dense forward ≡ scalar oracle on random shapes.
+        #[test]
+        fn dense_forward_gemm_equals_scalar(
+            in_dim in 1usize..40,
+            out_dim in 1usize..20,
+            seed in 0u64..1_000,
+        ) {
+            let mut rng = init_rng(seed.wrapping_add(5));
+            let mut d = Dense::new(in_dim, out_dim, &mut rng);
+            let input: Vec<f32> = (0..in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let fast = d.forward(&input, false);
+            let slow = reference::dense_forward(in_dim, out_dim, &d.weight.w, &d.bias.w, &input);
+            for (a, b) in fast.iter().zip(slow.iter()) {
+                prop_assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "{} vs {}", a, b);
+            }
+        }
     }
 }

@@ -23,8 +23,15 @@
 //! 32×32 inputs the default is three conv blocks (each halves the spatial
 //! resolution), which preserves the "each layer halves, features feed an
 //! MDN" design. The depth is configurable.
+//!
+//! Conv and dense passes are lowered onto im2col + cache-blocked GEMM (see
+//! [`kernels`]); every layer also has a batched entry point so training
+//! pushes whole minibatches through one GEMM per layer.
+
+#![warn(missing_docs)]
 
 pub mod cmdn;
+pub mod kernels;
 pub mod layers;
 pub mod mixture;
 pub mod optim;

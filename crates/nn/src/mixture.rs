@@ -58,10 +58,12 @@ impl GaussianMixture {
         }])
     }
 
+    /// The normalised components.
     pub fn components(&self) -> &[Component] {
         &self.components
     }
 
+    /// Number of components.
     pub fn num_components(&self) -> usize {
         self.components.len()
     }

@@ -3,9 +3,13 @@
 /// Adam (Kingma & Ba) with optional gradient clipping.
 #[derive(Debug, Clone)]
 pub struct Adam {
+    /// Learning rate.
     pub lr: f32,
+    /// Exponential decay of the first-moment estimate.
     pub beta1: f32,
+    /// Exponential decay of the second-moment estimate.
     pub beta2: f32,
+    /// Denominator fuzz preventing division by zero.
     pub eps: f32,
     /// Global L2 gradient clip; 0 disables clipping.
     pub clip: f32,
@@ -15,6 +19,8 @@ pub struct Adam {
 }
 
 impl Adam {
+    /// Builds an optimiser for `n_params` parameters with the standard
+    /// Kingma–Ba defaults (`β₁ = 0.9`, `β₂ = 0.999`) and clip 5.
     pub fn new(lr: f32, n_params: usize) -> Self {
         Adam {
             lr,
@@ -28,6 +34,7 @@ impl Adam {
         }
     }
 
+    /// Number of [`Adam::step`] calls so far (the bias-correction clock).
     pub fn steps_taken(&self) -> u64 {
         self.t
     }

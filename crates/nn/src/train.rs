@@ -9,8 +9,10 @@
 //! identical).
 //!
 //! Gradients are data-parallel: each worker owns a clone of the model,
-//! accumulates sample gradients for its share of the batch, and the main
-//! thread sums the flattened gradients and applies one Adam step.
+//! pushes its share of the batch through the **batched** layer passes
+//! (one im2col + GEMM per layer per microbatch — see [`crate::kernels`])
+//! accumulating gradients, and the main thread sums the flattened
+//! gradients and applies one Adam step.
 
 use crate::cmdn::{Cmdn, CmdnConfig};
 use crate::mixture::GaussianMixture;
@@ -25,9 +27,13 @@ pub type Sample = (Vec<f32>, f64);
 /// Training-loop configuration.
 #[derive(Debug, Clone)]
 pub struct TrainConfig {
+    /// Maximum training epochs.
     pub epochs: usize,
+    /// Minibatch size per Adam step.
     pub batch_size: usize,
+    /// Adam learning rate.
     pub lr: f32,
+    /// Data-parallel gradient workers per batch.
     pub num_threads: usize,
     /// Early-stopping patience in epochs (0 disables early stopping).
     pub patience: usize,
@@ -54,6 +60,7 @@ impl Default for TrainConfig {
 /// A trained model together with its selection statistics.
 #[derive(Debug, Clone)]
 pub struct TrainedCmdn {
+    /// The best-holdout-NLL snapshot of the trained model.
     pub model: Cmdn,
     /// Mean hold-out NLL of the selected (best) epoch.
     pub holdout_nll: f64,
@@ -115,8 +122,44 @@ pub fn train_cmdn(
     }
 }
 
+/// Upper bound on samples per batched layer pass. The packed-patch
+/// matrix grows linearly with the microbatch, so small microbatches keep
+/// it cache-resident — which empirically beats wider GEMMs: on the
+/// reference machine a 3-epoch 32×32 train runs ~0.36 s at 2–4
+/// samples/pass vs ~0.50 s at 32 (first-layer im2col is ~37 KB per
+/// sample). 4 still amortises the per-call packing/alloc overhead.
+const MICROBATCH: usize = 4;
+
+/// Packs inputs into one sample-major buffer (cleared first), asserting
+/// each sample has the model's input length — concatenation would
+/// otherwise silently misalign mis-sized samples.
+fn pack_inputs<'a>(
+    inputs: impl Iterator<Item = &'a Vec<f32>>,
+    sample_len: usize,
+    xs: &mut Vec<f32>,
+) {
+    xs.clear();
+    for x in inputs {
+        assert_eq!(x.len(), sample_len, "CMDN input size mismatch");
+        xs.extend_from_slice(x);
+    }
+}
+
+/// Packs samples into one sample-major buffer + target vector.
+fn pack_samples<'a>(
+    samples: impl Iterator<Item = &'a Sample> + Clone,
+    sample_len: usize,
+    xs: &mut Vec<f32>,
+    ys: &mut Vec<f64>,
+) {
+    pack_inputs(samples.clone().map(|(x, _)| x), sample_len, xs);
+    ys.clear();
+    ys.extend(samples.map(|(_, y)| y));
+}
+
 /// Sums per-sample gradients over `batch` (indices into `data`), averaged by
-/// batch size, computed across `threads` workers.
+/// batch size, computed across `threads` workers. Each worker pushes its
+/// share through whole-minibatch GEMMs ([`Cmdn::train_step_batch`]).
 fn parallel_batch_grads(
     model: &Cmdn,
     data: &[Sample],
@@ -132,9 +175,12 @@ fn parallel_batch_grads(
                 scope.spawn(move || {
                     let mut worker = model.clone();
                     worker.zero_grads();
-                    for &i in idxs {
-                        let (x, y) = &data[i];
-                        let _ = worker.train_step(x, *y);
+                    let ilen = worker.input_len();
+                    let mut xs = Vec::new();
+                    let mut ys = Vec::new();
+                    for sub in idxs.chunks(MICROBATCH) {
+                        pack_samples(sub.iter().map(|&i| &data[i]), ilen, &mut xs, &mut ys);
+                        let _ = worker.train_step_batch(&xs, &ys);
                     }
                     worker.grads_flat()
                 })
@@ -158,7 +204,7 @@ fn parallel_batch_grads(
     total
 }
 
-/// Mean NLL over a dataset, evaluated in parallel.
+/// Mean NLL over a dataset, evaluated in parallel with batched forwards.
 pub fn mean_nll(model: &Cmdn, data: &[Sample], threads: usize) -> f64 {
     if data.is_empty() {
         return f64::NAN;
@@ -171,9 +217,15 @@ pub fn mean_nll(model: &Cmdn, data: &[Sample], threads: usize) -> f64 {
             .map(|part| {
                 scope.spawn(move || {
                     let mut worker = model.clone();
-                    part.iter()
-                        .map(|(x, y)| worker.eval_nll(x, *y))
-                        .sum::<f64>()
+                    let ilen = worker.input_len();
+                    let mut xs = Vec::new();
+                    let mut ys = Vec::new();
+                    let mut sum = 0.0f64;
+                    for sub in part.chunks(MICROBATCH) {
+                        pack_samples(sub.iter(), ilen, &mut xs, &mut ys);
+                        sum += worker.eval_nll_batch(&xs, &ys).iter().sum::<f64>();
+                    }
+                    sum
                 })
             })
             .collect();
@@ -185,7 +237,8 @@ pub fn mean_nll(model: &Cmdn, data: &[Sample], threads: usize) -> f64 {
     sums.iter().sum::<f64>() / data.len() as f64
 }
 
-/// Batch inference: one mixture per input, computed in parallel.
+/// Batch inference: one mixture per input, computed in parallel with
+/// batched forwards ([`Cmdn::predict_many`]).
 pub fn predict_batch(model: &Cmdn, inputs: &[Vec<f32>], threads: usize) -> Vec<GaussianMixture> {
     if inputs.is_empty() {
         return Vec::new();
@@ -198,7 +251,14 @@ pub fn predict_batch(model: &Cmdn, inputs: &[Vec<f32>], threads: usize) -> Vec<G
             .map(|part| {
                 scope.spawn(move || {
                     let mut worker = model.clone();
-                    part.iter().map(|x| worker.predict(x)).collect::<Vec<_>>()
+                    let ilen = worker.input_len();
+                    let mut out = Vec::with_capacity(part.len());
+                    let mut xs = Vec::new();
+                    for sub in part.chunks(MICROBATCH) {
+                        pack_inputs(sub.iter(), ilen, &mut xs);
+                        out.extend(worker.predict_many(&xs));
+                    }
+                    out
                 })
             })
             .collect();
@@ -246,10 +306,12 @@ impl HyperGrid {
         }
     }
 
+    /// Number of (g, h) configurations in the grid.
     pub fn len(&self) -> usize {
         self.gaussians.len() * self.hidden.len()
     }
 
+    /// True when either axis of the grid is empty.
     pub fn is_empty(&self) -> bool {
         self.gaussians.is_empty() || self.hidden.is_empty()
     }
@@ -259,6 +321,7 @@ impl HyperGrid {
 /// (useful for reporting and ablations).
 #[derive(Debug, Clone)]
 pub struct TrainOutcome {
+    /// The smallest-holdout-NLL model of the grid.
     pub best: TrainedCmdn,
     /// `(g, h, holdout_nll)` for every configuration evaluated.
     pub evaluated: Vec<(usize, usize, f64)>,
@@ -431,6 +494,17 @@ mod tests {
         };
         let trained = train_cmdn(tiny_cfg(2, 8), &tcfg, &train, &holdout);
         assert!(trained.epochs_run <= 60);
+    }
+
+    #[test]
+    // The per-sample size assert fires inside a worker thread; the join
+    // surfaces it as a worker panic. The lengths sum to 128 = 2×64, so
+    // only a per-sample check (not the packed total) can catch this.
+    #[should_panic(expected = "predict worker panicked")]
+    fn predict_batch_rejects_mis_sized_samples() {
+        let model = Cmdn::new(tiny_cfg(2, 8)); // input_len = 64
+        let inputs = vec![vec![0.0f32; 32], vec![0.0f32; 96]];
+        let _ = predict_batch(&model, &inputs, 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! Frames are a pure function of `(video seed, frame index)`: a textured
 //! background (optionally panned/shaken for moving-camera footage), soft
-//! object blobs positioned by the [`Timeline`](crate::arrival::Timeline),
+//! object blobs positioned by the [`crate::arrival::Timeline`],
 //! and per-frame sensor noise. Pixels therefore have exactly the properties
 //! the pipeline depends on: temporal correlation for the difference
 //! detector, and a learnable pixels→count relationship for the CMDN.
