@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use everest_core::dist::DiscreteDist;
 use everest_core::semantics::{expected_rank_topk, expected_ranks};
 use everest_core::semantics_dp::{u_kranks_dp, u_topk_dp, RankTable};
-use everest_core::skyline::{dominates, prob_dominated, skyline_of, skyline_state, VectorRelation};
+use everest_core::skyline::{
+    dominates, prob_dominated, skyline_of, skyline_of_pairwise, skyline_state, VectorRelation,
+};
 use everest_core::xtuple::UncertainRelation;
 use everest_evql::{analyze_select, parse, SessionSettings};
 use rand::rngs::StdRng;
@@ -112,6 +114,11 @@ fn bench_skyline(c: &mut Criterion) {
         .collect();
     group.bench_function("skyline_of_2000", |b| {
         b.iter(|| black_box(skyline_of(black_box(&vectors)).len()))
+    });
+    // The pre-sort-filter all-pairs routine, kept as the oracle — the
+    // ratio against `skyline_of_2000` is the presort + early-exit win.
+    group.bench_function("skyline_of_pairwise_2000", |b| {
+        b.iter(|| black_box(skyline_of_pairwise(black_box(&vectors)).len()))
     });
     group.finish();
 }

@@ -7,7 +7,11 @@
 //! ("Phase 1 can be done offline during data ingestion"). Reported
 //! simulated time always includes the full Phase-1 charge, as the paper's
 //! end-to-end numbers do; [`ExecStats::phase1_cached`] records whether the
-//! *wall-clock* work was reused.
+//! *wall-clock* work was reused. The cache is LRU-bounded
+//! ([`DEFAULT_CACHE_CAPACITY`], adjustable via
+//! [`Session::set_cache_capacity`]) so sessions touching many distinct
+//! `(dataset, score, scale, seed, step)` combinations can't grow memory
+//! without limit.
 
 use crate::analyze::{analyze, SessionSettings};
 use crate::ast::Statement;
@@ -129,10 +133,24 @@ struct PreparedEntry {
     oracle: ExactScoreOracle,
 }
 
-/// An EVQL session: settings + prepared-video cache.
+/// One cache slot: the prepared video plus its last-use tick (LRU order).
+struct CacheSlot {
+    entry: Arc<PreparedEntry>,
+    last_used: u64,
+}
+
+/// Default cap on cached Phase-1 preparations. Each entry holds a full
+/// relation + mixtures + trained CMDN for one `(dataset, score, scale,
+/// seed, step)` combination — a handful covers an interactive session,
+/// while an unbounded map would grow with every distinct query shape.
+pub const DEFAULT_CACHE_CAPACITY: usize = 8;
+
+/// An EVQL session: settings + LRU-bounded prepared-video cache.
 pub struct Session {
     pub settings: SessionSettings,
-    cache: HashMap<CacheKey, Arc<PreparedEntry>>,
+    cache: HashMap<CacheKey, CacheSlot>,
+    cache_capacity: usize,
+    tick: u64,
 }
 
 impl Default for Session {
@@ -143,16 +161,42 @@ impl Default for Session {
 
 impl Session {
     pub fn new() -> Self {
-        Session {
-            settings: SessionSettings::default(),
-            cache: HashMap::new(),
-        }
+        Session::with_settings(SessionSettings::default())
     }
 
     pub fn with_settings(settings: SessionSettings) -> Self {
         Session {
             settings,
             cache: HashMap::new(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            tick: 0,
+        }
+    }
+
+    /// Current cap on cached Phase-1 preparations.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Re-caps the prepared-video cache (≥ 1), evicting least-recently
+    /// used entries immediately if the new cap is smaller.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        self.cache_capacity = capacity;
+        while self.cache.len() > self.cache_capacity {
+            self.evict_lru();
+        }
+    }
+
+    /// Drops the least-recently-used cache entry.
+    fn evict_lru(&mut self) {
+        if let Some(key) = self
+            .cache
+            .iter()
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(k, _)| k.clone())
+        {
+            self.cache.remove(&key);
         }
     }
 
@@ -486,8 +530,17 @@ impl Session {
             seed,
             step_bits: step.to_bits(),
         };
-        if let Some(hit) = self.cache.get(&key) {
-            return (Arc::clone(hit), true);
+        self.tick += 1;
+        if let Some(hit) = self.cache.get_mut(&key) {
+            hit.last_used = self.tick;
+            return (Arc::clone(&hit.entry), true);
+        }
+        // Bound the cache: evict the least-recently-used preparation(s)
+        // *before* building, so peak memory never holds capacity + 1 full
+        // preparations and repeated queries over many distinct videos
+        // can't grow memory without limit.
+        while self.cache.len() >= self.cache_capacity {
+            self.evict_lru();
         }
         let built = source.build(score, scale, seed);
         let cfg = phase1_recipe(step, seed);
@@ -496,7 +549,13 @@ impl Session {
             prepared,
             oracle: built.oracle,
         });
-        self.cache.insert(key, Arc::clone(&entry));
+        self.cache.insert(
+            key,
+            CacheSlot {
+                entry: Arc::clone(&entry),
+                last_used: self.tick,
+            },
+        );
         (entry, false)
     }
 
@@ -1015,6 +1074,40 @@ mod tests {
             (out.stats.speedup - 1.0).abs() < 1e-9,
             "scan speedup is 1 by definition"
         );
+    }
+
+    #[test]
+    fn cache_capacity_bounds_and_evicts_lru() {
+        let mut s = fast_session();
+        s.set_cache_capacity(2);
+        assert_eq!(s.cache_capacity(), 2);
+        let run = |s: &mut Session, seed: u64| -> bool {
+            match s
+                .execute(&format!("SELECT TOP 3 FRAMES FROM Archie WITH SEED {seed}"))
+                .unwrap()
+            {
+                Output::Rows(o) => o.stats.phase1_cached,
+                other => panic!("{other:?}"),
+            }
+        };
+        assert!(!run(&mut s, 1)); // miss: {1}
+        assert!(!run(&mut s, 2)); // miss: {1, 2}
+        assert_eq!(s.cached_preparations(), 2);
+        assert!(run(&mut s, 1)); // hit bumps 1's recency: LRU is now 2
+        assert!(!run(&mut s, 3)); // miss evicts 2: {1, 3}
+        assert_eq!(s.cached_preparations(), 2, "capacity must bound the cache");
+        assert!(run(&mut s, 1), "recently-used entry must survive eviction");
+        assert!(!run(&mut s, 2), "evicted entry must rebuild");
+        // shrinking the cap evicts immediately
+        s.set_cache_capacity(1);
+        assert_eq!(s.cached_preparations(), 1);
+        assert!(run(&mut s, 2), "the single most-recent entry survives");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cache_capacity_rejected() {
+        Session::new().set_cache_capacity(0);
     }
 
     #[test]

@@ -58,10 +58,19 @@ struct ConvBlock {
 }
 
 impl ConvBlock {
-    fn forward_batch(&mut self, x: &[f32], batch: usize, train: bool) -> Vec<f32> {
-        let a = self.conv.forward_batch(x, batch, train);
-        let b = self.relu.forward(&a, train);
-        self.pool.forward_batch(&b, batch, train)
+    /// conv → ReLU (in place) → pool, `x → out` with `mid` holding the
+    /// pre-pool activations. No allocation once the buffers have grown.
+    fn forward_batch_into(
+        &mut self,
+        x: &[f32],
+        batch: usize,
+        train: bool,
+        mid: &mut Vec<f32>,
+        out: &mut Vec<f32>,
+    ) {
+        self.conv.forward_batch_into(x, batch, train, mid);
+        self.relu.forward_inplace(mid, train);
+        self.pool.forward_batch_into(mid, batch, train, out);
     }
 
     fn backward_batch(&mut self, g: &[f32], batch: usize) -> Vec<f32> {
@@ -69,6 +78,19 @@ impl ConvBlock {
         let g = self.relu.backward(&g);
         self.conv.backward_batch(&g, batch)
     }
+}
+
+/// Reusable forward-pass buffers (not serialized; rebuilt empty on
+/// deserialize and regrown on first use). `x`/`y` ping-pong the
+/// between-layer activations, `mid` holds each block's pre-pool
+/// activations, and `raw` receives the head output — so a forward pass
+/// allocates nothing after warmup.
+#[derive(Debug, Clone, Default)]
+struct ForwardScratch {
+    x: Vec<f32>,
+    mid: Vec<f32>,
+    y: Vec<f32>,
+    raw: Vec<f32>,
 }
 
 /// Raw MDN head output converted to mixture parameters, kept together with
@@ -93,6 +115,8 @@ pub struct Cmdn {
     fc1: Dense,
     fc1_relu: Relu,
     fc2: Dense,
+    #[serde(skip)]
+    scratch: ForwardScratch,
 }
 
 impl Cmdn {
@@ -147,6 +171,7 @@ impl Cmdn {
             fc1,
             fc1_relu: Relu::new(),
             fc2,
+            scratch: ForwardScratch::default(),
         }
     }
 
@@ -160,10 +185,6 @@ impl Cmdn {
         self.cfg.input.0 * self.cfg.input.1
     }
 
-    fn forward_raw(&mut self, input: &[f32], train: bool) -> Vec<f32> {
-        self.forward_raw_batch(input, 1, train)
-    }
-
     /// Shape of the conv stack's output: `(channels, positions per channel)`.
     fn feature_dims(&self) -> (usize, usize) {
         let depth = self.cfg.conv_channels.len();
@@ -173,21 +194,24 @@ impl Cmdn {
     }
 
     /// Repacks conv activations (`[c][s][pos]` batched layout) into
-    /// sample-major feature vectors (`[s][feat]`) for the dense head.
-    fn flatten_features(&self, x: &[f32], batch: usize) -> Vec<f32> {
-        let (ch, pos) = self.feature_dims();
+    /// sample-major feature vectors (`[s][feat]`) for the dense head,
+    /// into a reusable buffer.
+    fn flatten_features_into(x: &[f32], batch: usize, ch: usize, pos: usize, out: &mut Vec<f32>) {
         let feat = ch * pos;
-        let mut out = vec![0.0f32; batch * feat];
+        // Resize without zero-filling the retained prefix: every element
+        // is written below.
+        if out.len() != batch * feat {
+            out.resize(batch * feat, 0.0);
+        }
         for c in 0..ch {
             for s in 0..batch {
                 out[s * feat + c * pos..s * feat + (c + 1) * pos]
                     .copy_from_slice(&x[(c * batch + s) * pos..(c * batch + s + 1) * pos]);
             }
         }
-        out
     }
 
-    /// Inverse of [`Cmdn::flatten_features`], for the backward pass.
+    /// Inverse of [`Cmdn::flatten_features_into`], for the backward pass.
     fn unflatten_features(&self, g: &[f32], batch: usize) -> Vec<f32> {
         let (ch, pos) = self.feature_dims();
         let feat = ch * pos;
@@ -202,26 +226,62 @@ impl Cmdn {
     }
 
     /// Batched body forward: `batch` sample-major grayscale inputs in one
-    /// buffer, one im2col + GEMM per conv layer for the whole minibatch,
-    /// returning the raw head outputs (`batch × 3g`, sample-major).
+    /// buffer, one im2col + GEMM per conv layer for the whole minibatch.
+    /// The raw head outputs (`batch × 3g`, sample-major) land in
+    /// `self.scratch.raw`.
     ///
-    /// (The grayscale inputs double as the `in_ch = 1` batched conv layout,
-    /// so no packing is needed on entry.)
-    fn forward_raw_batch(&mut self, inputs: &[f32], batch: usize, train: bool) -> Vec<f32> {
+    /// Activations ping-pong between the two scratch buffers — layer `i+1`
+    /// reads layer `i`'s output where it was written (the grayscale inputs
+    /// double as the `in_ch = 1` batched conv layout, so the first conv
+    /// reads the caller's buffer directly) — and every buffer is reused
+    /// across calls: after warmup a forward pass performs **zero** heap
+    /// allocations.
+    fn forward_raw_batch(&mut self, inputs: &[f32], batch: usize, train: bool) {
         assert!(batch >= 1, "empty batch");
         assert_eq!(
             inputs.len(),
             batch * self.input_len(),
             "CMDN input size mismatch"
         );
-        let mut x = inputs.to_vec();
-        for b in &mut self.blocks {
-            x = b.forward_batch(&x, batch, train);
+        for i in 0..self.blocks.len() {
+            if i == 0 {
+                self.blocks[0].forward_batch_into(
+                    inputs,
+                    batch,
+                    train,
+                    &mut self.scratch.mid,
+                    &mut self.scratch.y,
+                );
+            } else {
+                self.blocks[i].forward_batch_into(
+                    &self.scratch.x,
+                    batch,
+                    train,
+                    &mut self.scratch.mid,
+                    &mut self.scratch.y,
+                );
+            }
+            std::mem::swap(&mut self.scratch.x, &mut self.scratch.y);
         }
-        let x = self.flatten_features(&x, batch);
-        let x = self.fc1.forward_batch(&x, batch, train);
-        let x = self.fc1_relu.forward(&x, train);
-        self.fc2.forward_batch(&x, batch, train)
+        let (ch, pos) = self.feature_dims();
+        Self::flatten_features_into(&self.scratch.x, batch, ch, pos, &mut self.scratch.mid);
+        self.fc1
+            .forward_batch_into(&self.scratch.mid, batch, train, &mut self.scratch.y);
+        self.fc1_relu.forward_inplace(&mut self.scratch.y, train);
+        self.fc2
+            .forward_batch_into(&self.scratch.y, batch, train, &mut self.scratch.raw);
+    }
+
+    /// Raw MDN head outputs (`batch × 3g`, sample-major) for a packed
+    /// sample-major input buffer, evaluated without touching gradients.
+    ///
+    /// This is the advanced zero-allocation entry point: the returned
+    /// slice borrows the model's internal scratch (valid until the next
+    /// forward pass), and after a warmup call the pass performs no heap
+    /// allocation at all — the property `tests/no_alloc.rs` pins.
+    pub fn predict_raw_batch(&mut self, inputs: &[f32], batch: usize) -> &[f32] {
+        self.forward_raw_batch(inputs, batch, false);
+        &self.scratch.raw
     }
 
     /// Converts raw head outputs into mixture parameters.
@@ -249,8 +309,9 @@ impl Cmdn {
 
     /// Inference: the predicted score distribution for one input.
     pub fn predict(&mut self, input: &[f32]) -> GaussianMixture {
-        let raw = self.forward_raw(input, false);
-        self.params_to_mixture(&self.to_params(&raw))
+        self.forward_raw_batch(input, 1, false);
+        let raw = &self.scratch.raw;
+        self.params_to_mixture(&self.to_params(raw))
     }
 
     /// Batched inference: `inputs` packs `inputs.len() / input_len()`
@@ -266,7 +327,8 @@ impl Cmdn {
         if batch == 0 {
             return Vec::new();
         }
-        let raw = self.forward_raw_batch(inputs, batch, false);
+        self.forward_raw_batch(inputs, batch, false);
+        let raw = &self.scratch.raw;
         let g3 = 3 * self.cfg.num_gaussians;
         (0..batch)
             .map(|s| self.params_to_mixture(&self.to_params(&raw[s * g3..(s + 1) * g3])))
@@ -303,12 +365,13 @@ impl Cmdn {
     /// Returns the summed NLL of the batch.
     pub fn train_step_batch(&mut self, inputs: &[f32], ys: &[f64]) -> f64 {
         let batch = ys.len();
-        let raw = self.forward_raw_batch(inputs, batch, true);
+        self.forward_raw_batch(inputs, batch, true);
         let g = self.cfg.num_gaussians;
 
         let mut grad_raw = vec![0.0f32; batch * 3 * g];
         let mut total_nll = 0.0f64;
         for (s, &y) in ys.iter().enumerate() {
+            let raw = &self.scratch.raw;
             let p = self.to_params(&raw[s * 3 * g..(s + 1) * 3 * g]);
             // Responsibilities γ_j = π_j φ_j / Σ_k π_k φ_k, in log space.
             let log_terms: Vec<f64> = (0..g)
@@ -350,8 +413,9 @@ impl Cmdn {
 
     /// Evaluation NLL of one sample without touching gradients.
     pub fn eval_nll(&mut self, input: &[f32], y: f64) -> f64 {
-        let raw = self.forward_raw(input, false);
-        let p = self.to_params(&raw);
+        self.forward_raw_batch(input, 1, false);
+        let raw = &self.scratch.raw;
+        let p = self.to_params(raw);
         Self::nll(&p, y)
     }
 
@@ -363,7 +427,8 @@ impl Cmdn {
         if batch == 0 {
             return Vec::new();
         }
-        let raw = self.forward_raw_batch(inputs, batch, false);
+        self.forward_raw_batch(inputs, batch, false);
+        let raw = &self.scratch.raw;
         let g3 = 3 * self.cfg.num_gaussians;
         ys.iter()
             .enumerate()

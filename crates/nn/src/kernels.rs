@@ -32,10 +32,35 @@
 //! Every kernel accumulates in a fixed order — the GEMM reduction dimension
 //! ascends element-by-element, and [`gemm_nt`]'s dot products use a fixed
 //! 8-lane accumulator folded in lane order — so results are bit-identical
-//! across runs and independent of the blocking parameters. (They are *not*
-//! bit-identical to the scalar reference: f32 addition is non-associative,
-//! which is why the equivalence tests in [`crate::layers`] use a small
-//! tolerance.)
+//! across runs and independent of the blocking parameters *and* of the
+//! worker-thread count: row panels split on multiples of the microkernel
+//! row count `MR`, so the
+//! scalar-edge kernel always covers exactly the last `m % 4` rows
+//! whatever the split, and all *vector* kernels (4×16, 4×32, 8×32) apply
+//! the identical per-element FMA chain, so a panel boundary routing rows
+//! through a narrower vector kernel changes nothing — the bitwise
+//! thread-invariance test pins both facts. (They are *not* bit-identical
+//! to the
+//! scalar reference: f32 addition is non-associative, which is why the
+//! equivalence tests in [`crate::layers`] use a small tolerance.)
+//!
+//! # CPU dispatch
+//!
+//! On x86-64 hosts with AVX2 + FMA (detected once at startup via
+//! `is_x86_feature_detected!`) the 4×16 microkernel and [`gemm_nt`]'s dot
+//! product run as explicit `std::arch` vector code; everywhere else the
+//! portable scalar forms run. The vector path keeps the exact ascending-`k`
+//! per-element accumulation order of the scalar path, but FMA fuses each
+//! multiply-add into one rounding, so the two paths can differ in the last
+//! bits — each path is bit-deterministic on its own, and the selected path
+//! is fixed for the whole process, so end-to-end runs stay byte-identical
+//! on the same machine. Set the environment variable `EVEREST_NO_SIMD=1`
+//! (read once, before the first GEMM) to force the scalar path; the
+//! [`gemm_scalar`]/[`gemm_nt_scalar`] entry points always run it, for
+//! benchmarking both paths side by side. [`simd_active`] reports the
+//! dispatch decision.
+
+use std::sync::OnceLock;
 
 /// Columns processed per cache block: `NC` patch columns of ≤ `in_ch·9`
 /// rows keep the packed panel L2-resident while the microkernel streams
@@ -46,20 +71,179 @@ const MR: usize = 4;
 /// Microkernel columns (two 8-lane vector registers per accumulator row).
 const NR: usize = 16;
 
+/// Multiply-accumulate count (`m·n·k`) below which [`gemm`]/[`gemm_nt`]
+/// stay single-threaded. ~8.4M MACs ≈ 2 ms of scalar work; spawning scoped
+/// workers costs tens of µs each, and the layer-level callers
+/// (`train.rs` workers, `phase1` scoring) already occupy every core with
+/// data parallelism, so only genuinely large single GEMMs are worth
+/// splitting — this keeps single-frame inference latency untouched.
+const MT_MIN_MACS: usize = 1 << 23;
+
+/// Whether the runtime-dispatched vector path is active for this process
+/// (x86-64 AVX2 + FMA detected and not disabled via `EVEREST_NO_SIMD`).
+///
+/// The vector tier is **one numeric path**: on AVX-512F hosts the GEMM
+/// microkernel runs 32 columns per tile instead of 16, but every output
+/// element still accumulates through the identical ascending-`k` FMA
+/// chain, so the 512- and 256-bit kernels produce bit-identical results —
+/// register width only changes speed. Only scalar-vs-vector differs
+/// numerically (fused vs separate rounding).
+pub fn simd_active() -> bool {
+    static ACTIVE: OnceLock<bool> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        let killed = env_flag("EVEREST_NO_SIMD");
+        !killed && avx2_available()
+    })
+}
+
+/// True when `var` is set to anything other than empty or `0`.
+fn env_flag(var: &str) -> bool {
+    std::env::var(var)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Whether the vector path may use the 512-bit microkernel (AVX-512F on
+/// top of [`simd_active`]; `EVEREST_NO_AVX512=1` drops back to the 256-bit
+/// kernel — same results, for width-tier benchmarking).
+#[cfg(target_arch = "x86_64")]
+fn avx512_active() -> bool {
+    static ACTIVE: OnceLock<bool> = OnceLock::new();
+    *ACTIVE.get_or_init(|| {
+        !env_flag("EVEREST_NO_AVX512") && std::arch::is_x86_feature_detected!("avx512f")
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_available() -> bool {
+    false
+}
+
+/// Worker threads for one GEMM call of `macs = m·n·k` multiply-adds over
+/// `m` rows: 1 unless the call is large enough to amortise thread spawns
+/// and the host has spare cores.
+fn mt_threads(m: usize, macs: usize) -> usize {
+    if macs < MT_MIN_MACS || m < 2 * MR {
+        return 1;
+    }
+    static AVAIL: OnceLock<usize> = OnceLock::new();
+    let avail = *AVAIL.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    });
+    avail.min(m / MR).max(1)
+}
+
 /// `C += A·B` for row-major `f32` matrices: `A` is `m×k`, `B` is `k×n`,
 /// `C` is `m×n`.
 ///
 /// Accumulation into `C` means callers can fold a bias pre-fill (forward)
 /// or gradient accumulation (backward) into the same call. The reduction
 /// runs over `p = 0..k` in ascending order for every output element, so the
-/// result is deterministic and independent of the blocking.
+/// result is deterministic and independent of the blocking and of the
+/// thread count. Large calls (≥ ~8M multiply-adds) are partitioned into
+/// row panels across scoped worker threads; the panels split on
+/// microkernel-row multiples so the split changes nothing numerically.
 pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_dispatch(simd_active(), m, n, k, a, b, c);
+}
+
+/// [`gemm`] forced onto the portable scalar path (single behaviour on
+/// every host) — the reference side of SIMD-vs-scalar comparisons and the
+/// `kernels/gemm_scalar_*` benchmarks. Threading still applies.
+pub fn gemm_scalar(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_dispatch(false, m, n, k, a, b, c);
+}
+
+fn gemm_dispatch(simd: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "gemm: A shape mismatch");
     assert_eq!(b.len(), k * n, "gemm: B shape mismatch");
     assert_eq!(c.len(), m * n, "gemm: C shape mismatch");
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let threads = mt_threads(m, m * n * k);
+    if threads == 1 {
+        gemm_serial(simd, m, n, k, a, b, c);
+    } else {
+        for_row_panels(m, n, k, a, c, threads, &|rows, a_panel, c_panel| {
+            gemm_serial(simd, rows, n, k, a_panel, b, c_panel)
+        });
+    }
+}
+
+/// One row panel's worth of work: `(rows, a_panel, c_panel)`.
+type PanelBody<'a> = &'a (dyn Fn(usize, &[f32], &mut [f32]) + Sync);
+
+/// Splits `a`/`c` into per-thread row panels (multiples of [`MR`] rows, so
+/// the panel edges don't change which kernel computes which row) and runs
+/// `body` on each panel in a scoped worker.
+fn for_row_panels(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    body: PanelBody<'_>,
+) {
+    let rows_per = m.div_ceil(threads).next_multiple_of(MR);
+    std::thread::scope(|scope| {
+        let mut a_rest = a;
+        let mut c_rest = c;
+        let mut done = 0;
+        while done < m {
+            let rows = rows_per.min(m - done);
+            let (a_panel, a_next) = a_rest.split_at(rows * k);
+            let (c_panel, c_next) = c_rest.split_at_mut(rows * n);
+            a_rest = a_next;
+            c_rest = c_next;
+            done += rows;
+            if done < m {
+                scope.spawn(move || body(rows, a_panel, c_panel));
+            } else {
+                // Final panel runs on the calling thread: one fewer spawn
+                // and no core parked waiting on the scope join.
+                body(rows, a_panel, c_panel);
+            }
+        }
+    });
+}
+
+/// Single-threaded blocked GEMM over one row panel; `simd` picks the
+/// microkernel implementation.
+fn gemm_serial(simd: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd {
+        use std::cell::RefCell;
+        thread_local! {
+            /// Per-thread packed-B-strip scratch; grows to the largest
+            /// strip seen and is then reused, so steady-state GEMMs
+            /// allocate nothing.
+            static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+        }
+        PACK.with(|p| {
+            let pack = &mut p.borrow_mut();
+            // SAFETY: simd is only true when AVX2+FMA were detected, and
+            // the dispatch wrapper validated every slice length.
+            unsafe {
+                if avx512_active() {
+                    avx512::gemm(m, n, k, a, b, c, pack);
+                } else {
+                    avx2::gemm(m, n, k, 0, a, b, c, pack);
+                }
+            }
+        });
+        return;
+    }
+    let _ = simd;
     // Block over columns so the active B panel stays cache-resident.
     let mut j0 = 0;
     while j0 < n {
@@ -147,15 +331,48 @@ fn kernel_edge(
 /// This is the backward weight pass (`∇W += ∇out · colsᵀ`), where the
 /// reduction dimension is the (large) number of patch columns. The dot
 /// product uses eight parallel lanes folded in fixed lane order, so it is
-/// deterministic (though ordered differently from [`gemm`]).
+/// deterministic (though ordered differently from [`gemm`]); on the AVX2
+/// path the eight lanes live in one FMA register. Large calls split into
+/// row panels exactly like [`gemm`] (here every row is a panel boundary,
+/// so threading never changes the result).
 pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_dispatch(simd_active(), m, n, k, a, b, c);
+}
+
+/// [`gemm_nt`] forced onto the portable scalar path — see [`gemm_scalar`].
+pub fn gemm_nt_scalar(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    gemm_nt_dispatch(false, m, n, k, a, b, c);
+}
+
+fn gemm_nt_dispatch(simd: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
     assert_eq!(b.len(), n * k, "gemm_nt: B shape mismatch");
     assert_eq!(c.len(), m * n, "gemm_nt: C shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let threads = mt_threads(m, m * n * k);
+    if threads == 1 {
+        gemm_nt_serial(simd, m, n, k, a, b, c);
+    } else {
+        for_row_panels(m, n, k, a, c, threads, &|rows, a_panel, c_panel| {
+            gemm_nt_serial(simd, rows, n, k, a_panel, b, c_panel)
+        });
+    }
+}
+
+fn gemm_nt_serial(simd: bool, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         let ar = &a[i * k..(i + 1) * k];
         for jn in 0..n {
             let br = &b[jn * k..(jn + 1) * k];
+            #[cfg(target_arch = "x86_64")]
+            if simd {
+                // SAFETY: simd is only true when AVX2+FMA were detected.
+                c[i * n + jn] += unsafe { avx2::dot(ar, br) };
+                continue;
+            }
+            let _ = simd;
             c[i * n + jn] += dot(ar, br);
         }
     }
@@ -182,6 +399,272 @@ fn dot(x: &[f32], y: &[f32]) -> f32 {
         sum += x[p] * y[p];
     }
     sum
+}
+
+/// Explicit AVX2 + FMA forms of the two hot kernels. Numerically these
+/// walk the reduction in the same ascending-`k` per-element scheme as
+/// their scalar twins; the differences are FMA's single rounding per
+/// multiply-add and [`avx2::dot`]'s four-register chain split.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{kernel_edge, MR, NR};
+    use std::arch::x86_64::*;
+
+    /// Full single-threaded GEMM over one row panel, starting at column
+    /// `j0`: for every 16-column strip of `B`, pack the strip contiguously
+    /// into `pack` (one 64-byte line per `p` instead of a `4n`-byte
+    /// stride), then sweep all 4-row tiles of `A` over it. The `m % 4`
+    /// edge rows and trailing `< 16` columns run the scalar
+    /// [`kernel_edge`], whose per-element ascending-`p` order the
+    /// microkernel shares.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA at runtime and the [`super::gemm`] slice-length
+    /// invariants (validated by the dispatch wrapper), with `j0 ≤ n`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gemm(
+        m: usize,
+        n: usize,
+        k: usize,
+        j0: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        pack: &mut Vec<f32>,
+    ) {
+        if pack.len() < k * NR {
+            pack.resize(k * NR, 0.0);
+        }
+        let mut j = j0;
+        while j + NR <= n {
+            for p in 0..k {
+                pack[p * NR..(p + 1) * NR].copy_from_slice(&b[p * n + j..p * n + j + NR]);
+            }
+            let mut i0 = 0;
+            while i0 + MR <= m {
+                kernel_4x16_packed(k, n, i0, j, a, pack, c);
+                i0 += MR;
+            }
+            if i0 < m {
+                kernel_edge(m - i0, NR, k, n, i0, j, a, b, c);
+            }
+            j += NR;
+        }
+        if j < n {
+            let mut i0 = 0;
+            while i0 < m {
+                let mr = MR.min(m - i0);
+                kernel_edge(mr, n - j, k, n, i0, j, a, b, c);
+                i0 += mr;
+            }
+        }
+    }
+
+    /// The packed microkernel: four broadcast rows of `A` against the
+    /// packed 16-wide `B` strip, eight `__m256` accumulators pinned in
+    /// registers across the whole `k` loop. Same per-element ascending-`p`
+    /// order as the scalar [`super::kernel_4x16`], with FMA rounding.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn kernel_4x16_packed(
+        k: usize,
+        n: usize,
+        i0: usize,
+        j: usize,
+        a: &[f32],
+        pack: &[f32],
+        c: &mut [f32],
+    ) {
+        debug_assert!(a.len() >= (i0 + MR) * k && pack.len() >= k * NR);
+        let mut acc = [_mm256_setzero_ps(); 2 * MR];
+        for p in 0..k {
+            let bp = pack.as_ptr().add(p * NR);
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for (r, pair) in acc.chunks_exact_mut(2).enumerate() {
+                let av = _mm256_broadcast_ss(a.get_unchecked((i0 + r) * k + p));
+                pair[0] = _mm256_fmadd_ps(av, b0, pair[0]);
+                pair[1] = _mm256_fmadd_ps(av, b1, pair[1]);
+            }
+        }
+        for (r, pair) in acc.chunks_exact(2).enumerate() {
+            let cp = c.as_mut_ptr().add((i0 + r) * n + j);
+            _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), pair[0]));
+            let cp8 = cp.add(8);
+            _mm256_storeu_ps(cp8, _mm256_add_ps(_mm256_loadu_ps(cp8), pair[1]));
+        }
+    }
+
+    /// Vector twin of [`super::dot`], with the eight-lane scheme split
+    /// over four independent FMA registers (chains cover the FMA latency;
+    /// a single register chain runs at 1/4 throughput). Registers are
+    /// folded pairwise then lanes in index order — deterministic, but a
+    /// different summation tree than the scalar twin, so comparisons use
+    /// the usual f32 tolerance.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA at runtime; `x` and `y` must be equally long.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn dot(x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        const LANES: usize = 8;
+        const CHAINS: usize = 4;
+        let mut acc = [_mm256_setzero_ps(); CHAINS];
+        let blocks = x.len() / (LANES * CHAINS);
+        for bi in 0..blocks {
+            let base = bi * LANES * CHAINS;
+            for (ci, chain) in acc.iter_mut().enumerate() {
+                let xv = _mm256_loadu_ps(x.as_ptr().add(base + ci * LANES));
+                let yv = _mm256_loadu_ps(y.as_ptr().add(base + ci * LANES));
+                *chain = _mm256_fmadd_ps(xv, yv, *chain);
+            }
+        }
+        let mut done = blocks * LANES * CHAINS;
+        // Whole 8-lane chunks left over go into chain 0, ascending.
+        while done + LANES <= x.len() {
+            let xv = _mm256_loadu_ps(x.as_ptr().add(done));
+            let yv = _mm256_loadu_ps(y.as_ptr().add(done));
+            acc[0] = _mm256_fmadd_ps(xv, yv, acc[0]);
+            done += LANES;
+        }
+        let folded = _mm256_add_ps(_mm256_add_ps(acc[0], acc[1]), _mm256_add_ps(acc[2], acc[3]));
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), folded);
+        let mut sum = 0.0f32;
+        for &l in &lanes {
+            sum += l;
+        }
+        for p in done..x.len() {
+            sum += x.get_unchecked(p) * y.get_unchecked(p);
+        }
+        sum
+    }
+}
+
+/// 512-bit width tier of the vector GEMM. Every output element runs the
+/// exact FMA chain of the [`avx2`] kernels (ascending `k`, one fused
+/// rounding per multiply-add), so results are **bit-identical** to the
+/// 256-bit tier — the wider registers only double the columns per tile.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use super::{avx2, kernel_edge, MR};
+    use std::arch::x86_64::*;
+
+    /// Rows per 512-bit tile (a multiple of [`MR`], so row-panel splits
+    /// land on tile boundaries for every width tier).
+    const MR512: usize = 2 * MR;
+    /// Columns per 512-bit tile (two 16-lane registers per row).
+    const NR512: usize = 32;
+
+    /// Full single-threaded GEMM over one row panel: 32-column packed
+    /// strips swept by 8-row (then 4-row) tiles of zmm accumulators;
+    /// trailing columns fall through to the 16-wide [`avx2::gemm`] logic
+    /// and the scalar [`kernel_edge`].
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F (+AVX2/FMA) at runtime and the [`super::gemm`]
+    /// slice-length invariants (validated by the dispatch wrapper).
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn gemm(
+        m: usize,
+        n: usize,
+        k: usize,
+        a: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        pack: &mut Vec<f32>,
+    ) {
+        if pack.len() < k * NR512 {
+            pack.resize(k * NR512, 0.0);
+        }
+        let mut j = 0;
+        while j + NR512 <= n {
+            for p in 0..k {
+                pack[p * NR512..(p + 1) * NR512].copy_from_slice(&b[p * n + j..p * n + j + NR512]);
+            }
+            let mut i0 = 0;
+            while i0 + MR512 <= m {
+                kernel_8x32_packed(k, n, i0, j, a, pack, c);
+                i0 += MR512;
+            }
+            if i0 + MR <= m {
+                kernel_4x32_packed(k, n, i0, j, a, pack, c);
+                i0 += MR;
+            }
+            if i0 < m {
+                kernel_edge(m - i0, NR512, k, n, i0, j, a, b, c);
+            }
+            j += NR512;
+        }
+        if j < n {
+            avx2::gemm(m, n, k, j, a, b, c, pack);
+        }
+    }
+
+    /// 8×32 packed microkernel: sixteen zmm accumulators pinned across the
+    /// whole `k` loop.
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    unsafe fn kernel_8x32_packed(
+        k: usize,
+        n: usize,
+        i0: usize,
+        j: usize,
+        a: &[f32],
+        pack: &[f32],
+        c: &mut [f32],
+    ) {
+        debug_assert!(a.len() >= (i0 + MR512) * k && pack.len() >= k * NR512);
+        let mut acc = [_mm512_setzero_ps(); 2 * MR512];
+        for p in 0..k {
+            let bp = pack.as_ptr().add(p * NR512);
+            let b0 = _mm512_loadu_ps(bp);
+            let b1 = _mm512_loadu_ps(bp.add(16));
+            for (r, pair) in acc.chunks_exact_mut(2).enumerate() {
+                let av = _mm512_set1_ps(*a.get_unchecked((i0 + r) * k + p));
+                pair[0] = _mm512_fmadd_ps(av, b0, pair[0]);
+                pair[1] = _mm512_fmadd_ps(av, b1, pair[1]);
+            }
+        }
+        for (r, pair) in acc.chunks_exact(2).enumerate() {
+            let cp = c.as_mut_ptr().add((i0 + r) * n + j);
+            _mm512_storeu_ps(cp, _mm512_add_ps(_mm512_loadu_ps(cp), pair[0]));
+            let cp16 = cp.add(16);
+            _mm512_storeu_ps(cp16, _mm512_add_ps(_mm512_loadu_ps(cp16), pair[1]));
+        }
+    }
+
+    /// 4×32 packed microkernel for the `m % 8 ≥ 4` row tail.
+    #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
+    unsafe fn kernel_4x32_packed(
+        k: usize,
+        n: usize,
+        i0: usize,
+        j: usize,
+        a: &[f32],
+        pack: &[f32],
+        c: &mut [f32],
+    ) {
+        debug_assert!(a.len() >= (i0 + MR) * k && pack.len() >= k * NR512);
+        let mut acc = [_mm512_setzero_ps(); 2 * MR];
+        for p in 0..k {
+            let bp = pack.as_ptr().add(p * NR512);
+            let b0 = _mm512_loadu_ps(bp);
+            let b1 = _mm512_loadu_ps(bp.add(16));
+            for (r, pair) in acc.chunks_exact_mut(2).enumerate() {
+                let av = _mm512_set1_ps(*a.get_unchecked((i0 + r) * k + p));
+                pair[0] = _mm512_fmadd_ps(av, b0, pair[0]);
+                pair[1] = _mm512_fmadd_ps(av, b1, pair[1]);
+            }
+        }
+        for (r, pair) in acc.chunks_exact(2).enumerate() {
+            let cp = c.as_mut_ptr().add((i0 + r) * n + j);
+            _mm512_storeu_ps(cp, _mm512_add_ps(_mm512_loadu_ps(cp), pair[0]));
+            let cp16 = cp.add(16);
+            _mm512_storeu_ps(cp16, _mm512_add_ps(_mm512_loadu_ps(cp16), pair[1]));
+        }
+    }
 }
 
 /// Packs 3×3 stride-1 pad-1 patches of a batched channel-major input into
@@ -318,18 +801,6 @@ pub fn transpose(src: &[f32], rows: usize, cols: usize, dst: &mut Vec<f32>) {
     }
 }
 
-/// Adds `bias[i]` to every element of row `i` of the row-major `m×n`
-/// matrix `c` (the broadcast bias of a convolution output).
-pub fn add_row_bias(c: &mut [f32], m: usize, n: usize, bias: &[f32]) {
-    assert_eq!(c.len(), m * n, "add_row_bias: C shape mismatch");
-    assert_eq!(bias.len(), m, "add_row_bias: bias length mismatch");
-    for (row, &b) in bias.iter().enumerate() {
-        for v in &mut c[row * n..(row + 1) * n] {
-            *v += b;
-        }
-    }
-}
-
 /// Accumulates the sum of each row of the row-major `m×n` matrix `g` into
 /// `acc[i]` (`+=`) — the bias gradient of a convolution.
 pub fn add_row_sums(g: &[f32], m: usize, n: usize, acc: &mut [f32]) {
@@ -455,6 +926,81 @@ mod tests {
         assert_eq!(c1, c2, "gemm must be bit-deterministic");
     }
 
+    /// Row-panel threading must be bit-invisible: every output element is
+    /// computed by the same kernel in the same order whatever the split.
+    #[test]
+    fn threaded_gemm_is_bitwise_equal_to_single_thread() {
+        // m deliberately not a multiple of MR (edge rows) and n not a
+        // multiple of NR (edge columns), so panel boundaries matter.
+        let (m, n, k) = (22, 273, 37);
+        let a = fill(m * k, 21);
+        let b = fill(k * n, 22);
+        for simd in [false, simd_active()] {
+            let mut single = fill(m * n, 23);
+            let mut nt_single = fill(m * n, 24);
+            gemm_serial(simd, m, n, k, &a, &b, &mut single);
+            let bt = fill(n * k, 25);
+            gemm_nt_serial(simd, m, n, k, &a, &bt, &mut nt_single);
+            for threads in [2usize, 3, 5] {
+                let mut c = fill(m * n, 23);
+                for_row_panels(m, n, k, &a, &mut c, threads, &|rows, ap, cp| {
+                    gemm_serial(simd, rows, n, k, ap, b.as_slice(), cp)
+                });
+                assert_eq!(c, single, "gemm simd={simd} threads={threads}");
+                let mut cnt = fill(m * n, 24);
+                for_row_panels(m, n, k, &a, &mut cnt, threads, &|rows, ap, cp| {
+                    gemm_nt_serial(simd, rows, n, k, ap, bt.as_slice(), cp)
+                });
+                assert_eq!(cnt, nt_single, "gemm_nt simd={simd} threads={threads}");
+            }
+        }
+    }
+
+    /// The 256- and 512-bit width tiers are one numeric path: identical
+    /// per-element FMA chains, so bit-identical outputs (on hosts that
+    /// have both).
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn avx512_tier_is_bitwise_equal_to_avx2_tier() {
+        if !(avx2_available() && std::arch::is_x86_feature_detected!("avx512f")) {
+            return; // nothing to compare on this host
+        }
+        // Shapes exercising 8-row tiles, the 4-row tail, scalar edge rows,
+        // the 16-wide column fallback, and scalar edge columns.
+        for &(m, n, k) in &[(32, 1024, 144), (22, 57, 31), (7, 16, 9), (9, 40, 12)] {
+            let a = fill(m * k, 41);
+            let b = fill(k * n, 42);
+            let mut c256 = fill(m * n, 43);
+            let mut c512 = c256.clone();
+            let mut pack = Vec::new();
+            // SAFETY: features checked above; slice lengths match shapes.
+            unsafe {
+                avx2::gemm(m, n, k, 0, &a, &b, &mut c256, &mut pack);
+                avx512::gemm(m, n, k, &a, &b, &mut c512, &mut pack);
+            }
+            assert_eq!(c256, c512, "width tiers diverged at ({m},{n},{k})");
+        }
+    }
+
+    /// The dispatched entry point must agree with the forced-scalar one to
+    /// within FMA-rounding tolerance (exactly, when no SIMD is available).
+    #[test]
+    fn dispatched_gemm_matches_scalar_entry_point() {
+        let (m, n, k) = (9, 35, 144);
+        let a = fill(m * k, 31);
+        let b = fill(k * n, 32);
+        let mut fast = fill(m * n, 33);
+        let mut slow = fast.clone();
+        gemm(m, n, k, &a, &b, &mut fast);
+        gemm_scalar(m, n, k, &a, &b, &mut slow);
+        for (x, y) in fast.iter().zip(slow.iter()) {
+            assert!((x - y).abs() <= 1e-5 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+        if !simd_active() {
+            assert_eq!(fast, slow, "without SIMD both entry points are one path");
+        }
+    }
+
     /// im2col followed by col2im must reproduce the multiplicity of each
     /// input cell (how many patches it participates in).
     #[test]
@@ -489,10 +1035,8 @@ mod tests {
     }
 
     #[test]
-    fn row_bias_and_sums() {
-        let mut c = vec![0.0f32; 2 * 3];
-        add_row_bias(&mut c, 2, 3, &[1.0, -2.0]);
-        assert_eq!(c, vec![1.0, 1.0, 1.0, -2.0, -2.0, -2.0]);
+    fn row_sums_accumulate() {
+        let c = vec![1.0f32, 1.0, 1.0, -2.0, -2.0, -2.0];
         let mut acc = vec![0.5f32, 0.0];
         add_row_sums(&c, 2, 3, &mut acc);
         assert_eq!(acc, vec![3.5, -6.0]);
@@ -518,6 +1062,46 @@ mod tests {
             gemm_ref(m, n, k, &a, &b, &mut c_ref);
             for (x, y) in c.iter().zip(c_ref.iter()) {
                 prop_assert!((x - y).abs() <= 1e-4 * (1.0 + y.abs()), "{} vs {}", x, y);
+            }
+        }
+
+        /// Dispatched (SIMD where available) ≡ forced-scalar `gemm` on
+        /// random shapes covering microkernel remainder rows/columns.
+        #[test]
+        fn simd_gemm_equals_scalar_random_shapes(
+            m in 1usize..24,
+            n in 1usize..80,
+            k in 1usize..48,
+            seed in 0u64..1_000,
+        ) {
+            let a = fill(m * k, seed.wrapping_add(7));
+            let b = fill(k * n, seed.wrapping_add(8));
+            let mut fast = fill(m * n, seed.wrapping_add(9));
+            let mut slow = fast.clone();
+            gemm(m, n, k, &a, &b, &mut fast);
+            gemm_scalar(m, n, k, &a, &b, &mut slow);
+            for (x, y) in fast.iter().zip(slow.iter()) {
+                prop_assert!((x - y).abs() <= 1e-5 * (1.0 + y.abs()), "{} vs {}", x, y);
+            }
+        }
+
+        /// Dispatched ≡ forced-scalar `gemm_nt`, including the `k % 8`
+        /// scalar dot-product tail.
+        #[test]
+        fn simd_gemm_nt_equals_scalar_random_shapes(
+            m in 1usize..16,
+            n in 1usize..40,
+            k in 1usize..160,
+            seed in 0u64..1_000,
+        ) {
+            let a = fill(m * k, seed.wrapping_add(17));
+            let bt = fill(n * k, seed.wrapping_add(18));
+            let mut fast = fill(m * n, seed.wrapping_add(19));
+            let mut slow = fast.clone();
+            gemm_nt(m, n, k, &a, &bt, &mut fast);
+            gemm_nt_scalar(m, n, k, &a, &bt, &mut slow);
+            for (x, y) in fast.iter().zip(slow.iter()) {
+                prop_assert!((x - y).abs() <= 1e-5 * (1.0 + y.abs()), "{} vs {}", x, y);
             }
         }
     }

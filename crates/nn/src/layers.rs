@@ -183,6 +183,22 @@ impl Conv3x3 {
     /// assert_eq!(out.len(), batch * conv.output_len());
     /// ```
     pub fn forward_batch(&mut self, input: &[f32], batch: usize, train: bool) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.forward_batch_into(input, batch, train, &mut out);
+        out
+    }
+
+    /// [`Conv3x3::forward_batch`] writing into a caller-provided buffer
+    /// (resized as needed) — the zero-copy form the CMDN's ping-pong
+    /// forward pass uses. After warmup every buffer (including the
+    /// train-mode input cache) is reused, so the call allocates nothing.
+    pub fn forward_batch_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        train: bool,
+        out: &mut Vec<f32>,
+    ) {
         assert!(batch >= 1, "empty batch");
         assert_eq!(
             input.len(),
@@ -190,7 +206,8 @@ impl Conv3x3 {
             "conv input size mismatch"
         );
         if train {
-            self.cached_input = input.to_vec();
+            self.cached_input.clear();
+            self.cached_input.extend_from_slice(input);
             self.cached_batch = batch;
         }
         let n = batch * self.h * self.w;
@@ -204,17 +221,16 @@ impl Conv3x3 {
             &mut self.scratch.cols,
         );
         self.cols_from_train = train;
-        let mut out = vec![0.0f32; self.out_ch * n];
-        kernels::gemm(
-            self.out_ch,
-            n,
-            k,
-            &self.weight.w,
-            &self.scratch.cols,
-            &mut out,
-        );
-        kernels::add_row_bias(&mut out, self.out_ch, n, &self.bias.w);
-        out
+        // Resize without zero-filling the retained prefix: the bias
+        // pre-fill below writes every element, and the GEMM accumulates
+        // on top of it (folding what used to be a separate bias pass).
+        if out.len() != self.out_ch * n {
+            out.resize(self.out_ch * n, 0.0);
+        }
+        for (row, &b) in self.bias.w.iter().enumerate() {
+            out[row * n..(row + 1) * n].fill(b);
+        }
+        kernels::gemm(self.out_ch, n, k, &self.weight.w, &self.scratch.cols, out);
     }
 
     /// Single-sample backward pass — the `batch = 1` case of
@@ -339,15 +355,35 @@ impl MaxPool2x2 {
     /// `train = true` records the argmax positions for
     /// [`MaxPool2x2::backward`].
     pub fn forward_batch(&mut self, input: &[f32], batch: usize, train: bool) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.forward_batch_into(input, batch, train, &mut out);
+        out
+    }
+
+    /// [`MaxPool2x2::forward_batch`] writing into a caller-provided buffer
+    /// (resized as needed); the train-mode argmax buffer is reused across
+    /// calls, so steady-state calls allocate nothing.
+    pub fn forward_batch_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        train: bool,
+        out: &mut Vec<f32>,
+    ) {
         assert_eq!(input.len(), batch * self.input_len());
         let (h, w) = (self.h, self.w);
         let (oh, ow) = (h / 2, w / 2);
-        let mut out = vec![0.0f32; batch * self.output_len()];
-        let mut argmax = if train {
-            vec![0u32; batch * self.output_len()]
-        } else {
-            Vec::new()
-        };
+        let out_len = batch * self.output_len();
+        // Resize without zero-filling the retained prefix: every element
+        // is written below.
+        if out.len() != out_len {
+            out.resize(out_len, 0.0);
+        }
+        // Eval forwards leave any train-mode argmax untouched (backward
+        // pairs with the last *train* forward, as before).
+        if train && self.argmax.len() != out_len {
+            self.argmax.resize(out_len, 0);
+        }
         for c in 0..self.ch {
             for s in 0..batch {
                 let ibase = (c * batch + s) * h * w;
@@ -367,16 +403,12 @@ impl MaxPool2x2 {
                         }
                         out[obase + y * ow + x] = best;
                         if train {
-                            argmax[obase + y * ow + x] = best_idx as u32;
+                            self.argmax[obase + y * ow + x] = best_idx as u32;
                         }
                     }
                 }
             }
         }
-        if train {
-            self.argmax = argmax;
-        }
-        out
     }
 
     /// Routes each output gradient back to the input cell that won the
@@ -414,10 +446,22 @@ impl Relu {
     /// mask for [`Relu::backward`]. Works on buffers of any length, so
     /// batched activations need no separate entry point.
     pub fn forward(&mut self, input: &[f32], train: bool) -> Vec<f32> {
+        let mut out = input.to_vec();
+        self.forward_inplace(&mut out, train);
+        out
+    }
+
+    /// [`Relu::forward`] clamping the buffer in place — activations never
+    /// leave the layer above's output buffer. The train-mode mask is
+    /// reused across calls, so steady-state calls allocate nothing.
+    pub fn forward_inplace(&mut self, x: &mut [f32], train: bool) {
         if train {
-            self.mask = input.iter().map(|&x| x > 0.0).collect();
+            self.mask.clear();
+            self.mask.extend(x.iter().map(|&v| v > 0.0));
         }
-        input.iter().map(|&x| x.max(0.0)).collect()
+        for v in x.iter_mut() {
+            *v = v.max(0.0);
+        }
     }
 
     /// Zeroes the gradient wherever the forward input was non-positive.
@@ -486,6 +530,21 @@ impl Dense {
     /// ([`kernels::gemm_nt`], which reads the `[out][in]` weights directly
     /// — no transpose pass) computes the whole minibatch.
     pub fn forward_batch(&mut self, input: &[f32], batch: usize, train: bool) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.forward_batch_into(input, batch, train, &mut out);
+        out
+    }
+
+    /// [`Dense::forward_batch`] writing into a caller-provided buffer
+    /// (resized as needed) — zero-copy form for the CMDN's ping-pong
+    /// forward pass; steady-state calls allocate nothing.
+    pub fn forward_batch_into(
+        &mut self,
+        input: &[f32],
+        batch: usize,
+        train: bool,
+        out: &mut Vec<f32>,
+    ) {
         assert!(batch >= 1, "empty batch");
         assert_eq!(
             input.len(),
@@ -493,22 +552,19 @@ impl Dense {
             "dense input size mismatch"
         );
         if train {
-            self.cached_input = input.to_vec();
+            self.cached_input.clear();
+            self.cached_input.extend_from_slice(input);
             self.cached_batch = batch;
         }
-        let mut out = Vec::with_capacity(batch * self.out_dim);
-        for _ in 0..batch {
-            out.extend_from_slice(&self.bias.w);
+        // Resize without zero-filling the retained prefix: the bias
+        // pre-fill writes every element, the GEMM accumulates on top.
+        if out.len() != batch * self.out_dim {
+            out.resize(batch * self.out_dim, 0.0);
         }
-        kernels::gemm_nt(
-            batch,
-            self.out_dim,
-            self.in_dim,
-            input,
-            &self.weight.w,
-            &mut out,
-        );
-        out
+        for s in 0..batch {
+            out[s * self.out_dim..(s + 1) * self.out_dim].copy_from_slice(&self.bias.w);
+        }
+        kernels::gemm_nt(batch, self.out_dim, self.in_dim, input, &self.weight.w, out);
     }
 
     /// Single-sample backward — the `batch = 1` case of

@@ -122,6 +122,39 @@ pub fn train_cmdn(
     }
 }
 
+/// Runs `f` over up to `threads` contiguous chunks of `items` on scoped
+/// worker threads, returning the per-chunk results in chunk order — the
+/// shared scaffolding behind every data-parallel pass here and in
+/// `everest-core` (gradients, evaluation, batched inference, frame
+/// scoring). Returns an empty vector for empty `items`; a panicking
+/// worker propagates with `<label> worker panicked`.
+pub fn parallel_chunks<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    label: &str,
+    f: impl Fn(&[T]) -> R + Sync,
+) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.min(items.len()).max(1);
+    let chunk = items.len().div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || f(part)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| panic!("{label} worker panicked"))
+            })
+            .collect()
+    })
+}
+
 /// Upper bound on samples per batched layer pass. The packed-patch
 /// matrix grows linearly with the microbatch, so small microbatches keep
 /// it cache-resident — which empirically beats wider GEMMs: on the
@@ -166,30 +199,17 @@ fn parallel_batch_grads(
     batch: &[usize],
     threads: usize,
 ) -> Vec<f32> {
-    let threads = threads.min(batch.len()).max(1);
-    let chunk = batch.len().div_ceil(threads);
-    let partials: Vec<Vec<f32>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = batch
-            .chunks(chunk)
-            .map(|idxs| {
-                scope.spawn(move || {
-                    let mut worker = model.clone();
-                    worker.zero_grads();
-                    let ilen = worker.input_len();
-                    let mut xs = Vec::new();
-                    let mut ys = Vec::new();
-                    for sub in idxs.chunks(MICROBATCH) {
-                        pack_samples(sub.iter().map(|&i| &data[i]), ilen, &mut xs, &mut ys);
-                        let _ = worker.train_step_batch(&xs, &ys);
-                    }
-                    worker.grads_flat()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("grad worker panicked"))
-            .collect()
+    let partials: Vec<Vec<f32>> = parallel_chunks(batch, threads, "grad", |idxs| {
+        let mut worker = model.clone();
+        worker.zero_grads();
+        let ilen = worker.input_len();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for sub in idxs.chunks(MICROBATCH) {
+            pack_samples(sub.iter().map(|&i| &data[i]), ilen, &mut xs, &mut ys);
+            let _ = worker.train_step_batch(&xs, &ys);
+        }
+        worker.grads_flat()
     });
     let n = batch.len() as f32;
     let mut total = partials[0].clone();
@@ -209,30 +229,17 @@ pub fn mean_nll(model: &Cmdn, data: &[Sample], threads: usize) -> f64 {
     if data.is_empty() {
         return f64::NAN;
     }
-    let threads = threads.min(data.len()).max(1);
-    let chunk = data.len().div_ceil(threads);
-    let sums: Vec<f64> = std::thread::scope(|scope| {
-        let handles: Vec<_> = data
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    let mut worker = model.clone();
-                    let ilen = worker.input_len();
-                    let mut xs = Vec::new();
-                    let mut ys = Vec::new();
-                    let mut sum = 0.0f64;
-                    for sub in part.chunks(MICROBATCH) {
-                        pack_samples(sub.iter(), ilen, &mut xs, &mut ys);
-                        sum += worker.eval_nll_batch(&xs, &ys).iter().sum::<f64>();
-                    }
-                    sum
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("eval worker panicked"))
-            .collect()
+    let sums: Vec<f64> = parallel_chunks(data, threads, "eval", |part| {
+        let mut worker = model.clone();
+        let ilen = worker.input_len();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut sum = 0.0f64;
+        for sub in part.chunks(MICROBATCH) {
+            pack_samples(sub.iter(), ilen, &mut xs, &mut ys);
+            sum += worker.eval_nll_batch(&xs, &ys).iter().sum::<f64>();
+        }
+        sum
     });
     sums.iter().sum::<f64>() / data.len() as f64
 }
@@ -240,32 +247,16 @@ pub fn mean_nll(model: &Cmdn, data: &[Sample], threads: usize) -> f64 {
 /// Batch inference: one mixture per input, computed in parallel with
 /// batched forwards ([`Cmdn::predict_many`]).
 pub fn predict_batch(model: &Cmdn, inputs: &[Vec<f32>], threads: usize) -> Vec<GaussianMixture> {
-    if inputs.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.min(inputs.len()).max(1);
-    let chunk = inputs.len().div_ceil(threads);
-    let parts: Vec<Vec<GaussianMixture>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move || {
-                    let mut worker = model.clone();
-                    let ilen = worker.input_len();
-                    let mut out = Vec::with_capacity(part.len());
-                    let mut xs = Vec::new();
-                    for sub in part.chunks(MICROBATCH) {
-                        pack_inputs(sub.iter(), ilen, &mut xs);
-                        out.extend(worker.predict_many(&xs));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("predict worker panicked"))
-            .collect()
+    let parts: Vec<Vec<GaussianMixture>> = parallel_chunks(inputs, threads, "predict", |part| {
+        let mut worker = model.clone();
+        let ilen = worker.input_len();
+        let mut out = Vec::with_capacity(part.len());
+        let mut xs = Vec::new();
+        for sub in part.chunks(MICROBATCH) {
+            pack_inputs(sub.iter(), ilen, &mut xs);
+            out.extend(worker.predict_many(&xs));
+        }
+        out
     });
     parts.into_iter().flatten().collect()
 }

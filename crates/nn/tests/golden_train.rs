@@ -51,11 +51,32 @@ fn tcfg(epochs: usize) -> TrainConfig {
 /// Holdout NLL after 1 and 2 epochs, recorded with the scalar layers.
 const GOLDEN: [(usize, f64); 2] = [(1, 2.2905088566), (2, 2.2407844299)];
 
+/// The same trajectory pinned **per dispatch path** at near-bit tightness
+/// (values re-recorded whenever the accumulation order deliberately
+/// changes). The vector path's FMA fuses each multiply-add into one
+/// rounding, so it diverges from the scalar path at ~1e-8 — each path is
+/// bit-deterministic on its own, which is what these constants pin. The
+/// scalar column is what `EVEREST_NO_SIMD=1` (CI's `test-scalar` job)
+/// reproduces.
+///
+/// The tight assertion only runs on the recording platform (x86-64
+/// Linux): the MDN loss goes through `f64::exp`/`ln`, whose last-ulp
+/// behaviour is libm-specific, so other platforms could drift past 1e-9
+/// with perfectly correct kernels — they are still covered by the 1e-3
+/// scalar-era check above.
+const GOLDEN_SIMD: [(usize, f64); 2] = [(1, 2.2905088677), (2, 2.2407844231)];
+const GOLDEN_SCALAR: [(usize, f64); 2] = [(1, 2.2905088701), (2, 2.2407844261)];
+
 #[test]
 fn two_epoch_loss_trajectory_matches_scalar_era_golden() {
     let train = brightness_dataset(200, 101);
     let holdout = brightness_dataset(60, 102);
-    for (epochs, golden) in GOLDEN {
+    let per_path = if everest_nn::kernels::simd_active() {
+        GOLDEN_SIMD
+    } else {
+        GOLDEN_SCALAR
+    };
+    for ((epochs, golden), (_, path_golden)) in GOLDEN.into_iter().zip(per_path) {
         let out = train_cmdn(cfg(), &tcfg(epochs), &train, &holdout);
         let drift = (out.holdout_nll - golden).abs();
         assert!(
@@ -63,6 +84,19 @@ fn two_epoch_loss_trajectory_matches_scalar_era_golden() {
             "epochs={epochs}: holdout NLL {} drifted {drift:.2e} from golden {golden}",
             out.holdout_nll
         );
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        {
+            let path_drift = (out.holdout_nll - path_golden).abs();
+            assert!(
+                path_drift < 1e-9,
+                "epochs={epochs} (simd={}): holdout NLL {} drifted {path_drift:.2e} from \
+                 the per-path golden {path_golden}",
+                everest_nn::kernels::simd_active(),
+                out.holdout_nll
+            );
+        }
+        #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+        let _ = path_golden;
     }
 }
 

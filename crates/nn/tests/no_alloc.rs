@@ -1,0 +1,81 @@
+//! Pins the zero-copy contract of the CMDN forward pass: once the
+//! ping-pong scratch buffers have grown (one warmup call per batch size),
+//! an inference forward performs **zero** heap allocations — no
+//! inter-layer `to_vec`, no per-call output vectors, no im2col regrowth.
+//!
+//! The counting allocator wraps the system one for this whole test
+//! binary, so the file holds exactly one test (parallel tests would
+//! pollute the counter).
+
+use everest_nn::cmdn::{Cmdn, CmdnConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator with a global allocation counter.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn forward_pass_allocates_nothing_after_warmup() {
+    let mut model = Cmdn::new(CmdnConfig::default());
+    let batch = 4usize;
+    let inputs: Vec<f32> = (0..batch * model.input_len())
+        .map(|i| (i as f32 * 0.01).sin().abs())
+        .collect();
+
+    // Warmup: grows the ping-pong scratch, the im2col buffers, and the
+    // GEMM pack scratch for this shape (twice, in case a buffer is grown
+    // lazily on second use).
+    for _ in 0..2 {
+        let _ = model.predict_raw_batch(&inputs, batch);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut checksum = 0.0f32;
+    for _ in 0..16 {
+        let raw = model.predict_raw_batch(&inputs, batch);
+        checksum += raw[0];
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(checksum.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state forward passes must not allocate"
+    );
+
+    // Changing the batch size regrows once, then is allocation-free again.
+    let one = &inputs[..model.input_len()];
+    let _ = model.predict_raw_batch(one, 1);
+    let _ = model.predict_raw_batch(one, 1);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..16 {
+        let _ = model.predict_raw_batch(one, 1);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "single-frame steady state must not allocate"
+    );
+}
