@@ -4,4 +4,6 @@
 //! paper) and the criterion micro-benchmarks. See `src/bin/` for the
 //! regeneration targets and `benches/` for the kernels.
 
+#![deny(unsafe_code)]
+
 pub mod harness;

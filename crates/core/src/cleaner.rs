@@ -194,6 +194,8 @@ pub fn run_cleaner(
         }
 
         // Select and clean the next batch (clamped to the budget).
+        // lint:allow(det-wallclock): feeds the reported select_time stat
+        // only; answer selection never branches on wall time.
         let started = Instant::now();
         let batch_size = cfg
             .batch_size
@@ -308,7 +310,7 @@ mod tests {
         // the proxy's distributions not assigning zero to reality.)
         let mut rel = UncertainRelation::new(1.0, 5);
         let truth: Vec<u32> = vec![5, 0, 1, 1, 2, 2, 3, 1, 0, 0];
-        for i in 0..truth.len() {
+        for (i, &t) in truth.iter().enumerate() {
             if i < 2 {
                 let masses = if i == 0 {
                     vec![0.70, 0.20, 0.05, 0.03, 0.01, 0.01]
@@ -317,7 +319,7 @@ mod tests {
                 };
                 rel.push_uncertain(DiscreteDist::from_masses(&masses));
             } else {
-                rel.push_certain(truth[i]);
+                rel.push_certain(t);
             }
         }
         let mut oracle = FnCleaningOracle(|id| truth[id]);

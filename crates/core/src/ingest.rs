@@ -23,7 +23,7 @@ use crate::xtuple::UncertainRelation;
 use everest_nn::{Cmdn, GaussianMixture};
 use everest_video::diff::Segments;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::time::Duration;
@@ -111,8 +111,9 @@ impl IngestIndex {
     /// Captures a freshly prepared video into a persistable index.
     pub fn from_prepared(video_name: impl Into<String>, prepared: &PreparedVideo) -> Self {
         let p = &prepared.phase1;
-        let mut labeled: Vec<(usize, f64)> = p.labeled.iter().map(|(&k, &v)| (k, v)).collect();
-        labeled.sort_unstable_by_key(|a| a.0);
+        // BTreeMap iteration is already key-ascending, so the serialized
+        // order is deterministic by construction.
+        let labeled: Vec<(usize, f64)> = p.labeled.iter().map(|(&k, &v)| (k, v)).collect();
         IngestIndex {
             version: INGEST_FORMAT_VERSION,
             video_name: video_name.into(),
@@ -139,7 +140,7 @@ impl IngestIndex {
         }
         self.validate()?;
         let clock = SimClock::from_entries(&self.clock).map_err(IngestError::Integrity)?;
-        let labeled: HashMap<usize, f64> = self.labeled.into_iter().collect();
+        let labeled: BTreeMap<usize, f64> = self.labeled.into_iter().collect();
         let phase1 = Phase1Output {
             relation: self.relation,
             segments: self.segments,

@@ -62,6 +62,8 @@
 //! assert!(report.confidence >= 0.9);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod baselines;
 pub mod cleaner;
 pub mod dist;

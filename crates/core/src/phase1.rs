@@ -26,7 +26,7 @@ use everest_video::VideoStore;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Phase-1 configuration.
@@ -100,7 +100,7 @@ pub struct Phase1Output {
     /// CMDN mixtures per retained frame (windows need them).
     pub mixtures: Vec<GaussianMixture>,
     /// Oracle-labelled retained positions → exact score.
-    pub labeled: HashMap<usize, f64>,
+    pub labeled: BTreeMap<usize, f64>,
     /// Grid-search results `(g, h, holdout_nll)`.
     pub grid_results: Vec<(usize, usize, f64)>,
     /// The selected proxy model.
@@ -196,6 +196,8 @@ pub fn run_phase1(video: &dyn VideoStore, oracle: &dyn Oracle, cfg: &Phase1Confi
         oracle.num_frames(),
         "oracle and video must cover the same frames"
     );
+    // lint:allow(det-wallclock): feeds the reported ingest wall-time stat
+    // only; the simulated cost model (SimClock) drives every decision.
     let started = Instant::now();
     let mut clock = SimClock::new();
     let n = video.num_frames();
@@ -235,7 +237,7 @@ pub fn run_phase1(video: &dyn VideoStore, oracle: &dyn Oracle, cfg: &Phase1Confi
         labelled_frames.len() as f64 * oracle.cost_per_frame()
             + decode.trace_cost(&labelled_frames),
     );
-    let labeled: HashMap<usize, f64> = labelled_pos
+    let labeled: BTreeMap<usize, f64> = labelled_pos
         .iter()
         .copied()
         .zip(labels.iter().copied())
@@ -336,6 +338,8 @@ pub fn populate_with_model(
     model: &Cmdn,
     cfg: &Phase1Config,
 ) -> Phase1Output {
+    // lint:allow(det-wallclock): feeds the reported ingest wall-time stat
+    // only; the simulated cost model (SimClock) drives every decision.
     let started = Instant::now();
     let mut clock = SimClock::new();
     let n = video.num_frames();
@@ -381,7 +385,7 @@ pub fn populate_with_model(
         relation,
         segments,
         mixtures,
-        labeled: HashMap::new(),
+        labeled: BTreeMap::new(),
         grid_results: Vec::new(),
         model: model.clone(),
         clock,

@@ -143,6 +143,8 @@ impl PreparedVideo {
         thres: f64,
         cleaner: &CleanerConfig,
     ) -> QueryReport {
+        // lint:allow(det-wallclock): feeds the reported wall_time stat
+        // only; query results never branch on wall time.
         let started = Instant::now();
         let mut relation = self.phase1.relation.clone();
         let retained = self.phase1.segments.retained();
@@ -239,6 +241,8 @@ impl PreparedVideo {
         sample_frac: f64,
         cleaner: &CleanerConfig,
     ) -> QueryReport {
+        // lint:allow(det-wallclock): feeds the reported wall_time stat
+        // only; window-query results never branch on wall time.
         let started = Instant::now();
         // Window scores are means of frame scores: reuse the frame grid but
         // refine the step for sub-integer means.

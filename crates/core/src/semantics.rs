@@ -32,7 +32,7 @@
 use crate::pws::{enumerate_worlds, TooManyWorlds, World};
 use crate::semantics_dp;
 use crate::xtuple::{ItemId, UncertainRelation};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The Top-K item set of one world, ties broken by ascending id
 /// (deterministic canonical answer).
@@ -51,7 +51,10 @@ fn topk_of_world(world: &World, k: usize) -> Vec<ItemId> {
 /// [`TooManyWorlds`] on relations too large to enumerate.
 pub fn u_topk(rel: &UncertainRelation, k: usize) -> Result<(Vec<ItemId>, f64), TooManyWorlds> {
     assert!(k >= 1 && k <= rel.len(), "K out of range");
-    let mut scores: HashMap<Vec<ItemId>, f64> = HashMap::new();
+    // BTreeMap so the max_by scan below runs in sorted-key order — the
+    // total tie-break already made the winner unique, but iteration order
+    // is part of the byte-identical contract (determinism suite).
+    let mut scores: BTreeMap<Vec<ItemId>, f64> = BTreeMap::new();
     for world in enumerate_worlds(rel)? {
         *scores.entry(topk_of_world(&world, k)).or_insert(0.0) += world.prob;
     }
@@ -201,19 +204,19 @@ pub fn pws_expected_ranks(rel: &UncertainRelation) -> Result<Vec<f64>, TooManyWo
     let n = rel.len();
     let mut ranks = vec![0.0f64; n];
     for world in enumerate_worlds(rel)? {
-        for f in 0..n {
+        for (f, rank) in ranks.iter_mut().enumerate() {
             let mut r = 0.0;
-            for g in 0..n {
+            for (g, bg) in world.buckets.iter().enumerate() {
                 if g == f {
                     continue;
                 }
-                match world.buckets[g].cmp(&world.buckets[f]) {
+                match bg.cmp(&world.buckets[f]) {
                     std::cmp::Ordering::Greater => r += 1.0,
                     std::cmp::Ordering::Equal => r += 0.5,
                     std::cmp::Ordering::Less => {}
                 }
             }
-            ranks[f] += world.prob * r;
+            *rank += world.prob * r;
         }
     }
     Ok(ranks)

@@ -329,11 +329,11 @@ pub fn topk_set_probability(rel: &UncertainRelation, set: &[ItemId]) -> f64 {
                 continue;
             }
             let mut term = pf;
-            for g in 0..n {
+            for (g, &is_member) in in_set.iter().enumerate() {
                 if g == fstar {
                     continue;
                 }
-                let factor = if in_set[g] {
+                let factor = if is_member {
                     // strictly above, or tied with a smaller id
                     (1.0 - rel.cdf(g, b)) + if g < fstar { rel.pmf(g, b) } else { 0.0 }
                 } else {
@@ -368,11 +368,11 @@ fn distribution_classes(rel: &UncertainRelation) -> Vec<usize> {
     let n = rel.len();
     let mut reps: Vec<ItemId> = Vec::new();
     let mut class_of = vec![0usize; n];
-    for f in 0..n {
+    for (f, class) in class_of.iter_mut().enumerate() {
         match reps.iter().position(|&r| same_dist(rel, r, f)) {
-            Some(c) => class_of[f] = c,
+            Some(c) => *class = c,
             None => {
-                class_of[f] = reps.len();
+                *class = reps.len();
                 reps.push(f);
             }
         }
@@ -581,8 +581,8 @@ pub fn topk_confidence(rel: &UncertainRelation, answer: &[ItemId], k: usize) -> 
             continue;
         }
         let mut outside = 1.0;
-        for g in 0..n {
-            if !in_answer[g] {
+        for (g, &in_ans) in in_answer.iter().enumerate() {
+            if !in_ans {
                 outside *= rel.cdf(g, t);
                 if outside == 0.0 {
                     break;

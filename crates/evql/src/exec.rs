@@ -31,7 +31,7 @@ use everest_models::{ExactScoreOracle, HogScorer, Oracle, TinyYoloScorer};
 use everest_nn::train::TrainConfig;
 use everest_nn::HyperGrid;
 use everest_video::store::DecodeCostModel;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -118,7 +118,7 @@ pub struct SkylineOutput {
     pub plan: crate::plan::SkylinePlan,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct CacheKey {
     source: String,
     score: String,
@@ -148,7 +148,10 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 8;
 /// An EVQL session: settings + LRU-bounded prepared-video cache.
 pub struct Session {
     pub settings: SessionSettings,
-    cache: HashMap<CacheKey, CacheSlot>,
+    /// BTreeMap (not HashMap) so eviction scans run in key order:
+    /// `last_used` ticks are unique, but deterministic iteration keeps
+    /// the whole session byte-reproducible by construction.
+    cache: BTreeMap<CacheKey, CacheSlot>,
     cache_capacity: usize,
     tick: u64,
 }
@@ -167,7 +170,7 @@ impl Session {
     pub fn with_settings(settings: SessionSettings) -> Self {
         Session {
             settings,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             tick: 0,
         }
@@ -306,6 +309,8 @@ impl Session {
     // ---- SELECT ----
 
     fn run(&mut self, plan: QueryPlan) -> Result<QueryOutput, EvqlError> {
+        // lint:allow(det-wallclock): feeds the reported wall_ms stat only;
+        // query answers never branch on wall time.
         let started = Instant::now();
         // Phase 1 (CMDN training + D0) is only charged to engines that use
         // a proxy model; pure scans get the oracle directly.
@@ -570,6 +575,8 @@ impl Session {
             run_skyline_cleaner, zip_relations, SkylineConfig, SkylineOracle,
         };
 
+        // lint:allow(det-wallclock): feeds the reported wall_ms stat only;
+        // skyline answers never branch on wall time.
         let started = Instant::now();
         let mut entries = Vec::with_capacity(plan.scores.len());
         let mut all_cached = true;

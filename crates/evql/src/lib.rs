@@ -51,6 +51,8 @@
 //! }
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod analyze;
 pub mod ast;
 pub mod catalog;

@@ -1,0 +1,72 @@
+//! Rule family **env-var registry**: every `EVEREST_*` environment
+//! variable is part of the engine's public operational surface, so the
+//! set referenced in source and the set documented in the
+//! `docs/BENCHMARKING.md` registry table must stay equal.
+//!
+//! IDs:
+//! * `env-var-undocumented` — an `EVEREST_*` string literal in source has
+//!   no mention in `docs/BENCHMARKING.md`.
+//! * `env-var-doc-stale` — `docs/BENCHMARKING.md` documents an
+//!   `EVEREST_*` variable no source file references.
+
+use crate::source::{everest_vars, FileCtx, VarSites};
+use crate::Diagnostic;
+use std::path::Path;
+
+pub const UNDOCUMENTED: &str = "env-var-undocumented";
+pub const DOC_STALE: &str = "env-var-doc-stale";
+
+/// Registry document, relative to the lint root.
+pub const REGISTRY_DOC: &str = "docs/BENCHMARKING.md";
+
+/// Harvests `EVEREST_*` names from this file's string literals into `sites`.
+pub fn collect(ctx: &FileCtx, sites: &mut VarSites) {
+    for t in &ctx.toks {
+        if t.kind != crate::lexer::Kind::Str {
+            continue;
+        }
+        for var in everest_vars(&t.text) {
+            sites.entry(var).or_insert((ctx.rel.clone(), t.line));
+        }
+    }
+}
+
+/// Cross-checks harvested source vars against the registry document.
+pub fn check(root: &Path, sites: &VarSites, out: &mut Vec<Diagnostic>) {
+    let doc_path = root.join(REGISTRY_DOC);
+    let doc = std::fs::read_to_string(&doc_path).unwrap_or_default();
+    let mut doc_vars: VarSites = VarSites::new();
+    for (i, line) in doc.lines().enumerate() {
+        for var in everest_vars(line) {
+            doc_vars
+                .entry(var)
+                .or_insert((REGISTRY_DOC.to_string(), i + 1));
+        }
+    }
+    for (var, (file, line)) in sites {
+        if !doc_vars.contains_key(var) {
+            out.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                rule: UNDOCUMENTED,
+                message: format!(
+                    "env var `{var}` is read in source but missing from the registry table in \
+                     {REGISTRY_DOC}"
+                ),
+            });
+        }
+    }
+    for (var, (file, line)) in &doc_vars {
+        if !sites.contains_key(var) {
+            out.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                rule: DOC_STALE,
+                message: format!(
+                    "env var `{var}` is documented in {REGISTRY_DOC} but no source file \
+                     references it"
+                ),
+            });
+        }
+    }
+}

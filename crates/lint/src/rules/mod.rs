@@ -1,0 +1,25 @@
+//! The rule catalog. Each rule has a stable machine-readable ID (used in
+//! diagnostics and in `// lint:allow(<id>): <reason>` escape hatches);
+//! `docs/LINTING.md` is the human-facing catalog.
+
+pub mod determinism;
+pub mod env_registry;
+pub mod panic_policy;
+pub mod unsafe_audit;
+pub mod vendor_guard;
+
+/// Every known rule ID, for validating `lint:allow` references.
+pub const ALL_RULES: &[&str] = &[
+    unsafe_audit::BLOCK,
+    unsafe_audit::FN_DOC,
+    unsafe_audit::CALLSITE,
+    unsafe_audit::TF_VIS,
+    unsafe_audit::TF_GUARD,
+    determinism::HASH_ITER,
+    determinism::WALLCLOCK,
+    determinism::FLOAT_SUM,
+    env_registry::UNDOCUMENTED,
+    env_registry::DOC_STALE,
+    panic_policy::RULE,
+    vendor_guard::RULE,
+];

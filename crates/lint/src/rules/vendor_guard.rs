@@ -1,0 +1,155 @@
+//! Rule **vendor-guard** (`vendor-dep`): the build container has no
+//! crates.io access, so every dependency in every workspace `Cargo.toml`
+//! must resolve to a local `path` (a `vendor/` shim or a sibling
+//! workspace crate) — directly, via `workspace = true` against a
+//! path-based `[workspace.dependencies]` entry, or as a dotted
+//! `name.workspace = true` key. A registry version (`foo = "1.0"`) or
+//! `git` source would break the offline build the moment the lockfile is
+//! refreshed.
+//!
+//! The check is a small line-oriented TOML subset parser: section
+//! headers, `name = value` entries, inline tables, and
+//! `[dependencies.name]` sub-tables — the only forms the workspace uses.
+
+use crate::Diagnostic;
+use std::path::Path;
+
+pub const RULE: &str = "vendor-dep";
+
+/// Lints one `Cargo.toml`; `rel` is its root-relative path.
+pub fn check_manifest(rel: &str, text: &str, out: &mut Vec<Diagnostic>) {
+    #[derive(PartialEq)]
+    enum Section {
+        Deps,
+        /// `[dependencies.foo]` sub-table: the entry is the section.
+        DepEntry {
+            name: String,
+            line: usize,
+            ok: bool,
+        },
+        Other,
+    }
+    let mut section = Section::Other;
+    let flush = |section: &mut Section, out: &mut Vec<Diagnostic>| {
+        if let Section::DepEntry { name, line, ok } = &section {
+            if !ok {
+                out.push(Diagnostic {
+                    file: rel.to_string(),
+                    line: *line,
+                    rule: RULE,
+                    message: format!(
+                        "dependency `{name}` does not resolve to a local path — offline \
+                         builds require path/vendored dependencies"
+                    ),
+                });
+            }
+        }
+        *section = Section::Other;
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut section, out);
+            let inner = line.trim_matches(|c| c == '[' || c == ']');
+            let is_deps_table = inner == "dependencies"
+                || inner == "dev-dependencies"
+                || inner == "build-dependencies"
+                || inner == "workspace.dependencies"
+                || inner.ends_with(".dependencies");
+            if is_deps_table {
+                section = Section::Deps;
+            } else if let Some((table, name)) = inner.rsplit_once('.') {
+                // `[dependencies.foo]` / `[workspace.dependencies.foo]`
+                let parent_is_deps = table == "dependencies"
+                    || table == "dev-dependencies"
+                    || table == "build-dependencies"
+                    || table == "workspace.dependencies"
+                    || table.ends_with(".dependencies");
+                if parent_is_deps {
+                    section = Section::DepEntry {
+                        name: name.to_string(),
+                        line: line_no,
+                        ok: false,
+                    };
+                } else {
+                    section = Section::Other;
+                }
+            } else {
+                section = Section::Other;
+            }
+            continue;
+        }
+        match &mut section {
+            Section::Deps => {
+                let Some((key, value)) = line.split_once('=') else {
+                    continue;
+                };
+                let key = key.trim();
+                let value = value.trim();
+                // Dotted keys: `foo.workspace = true`, `foo.path = "…"`.
+                if key.ends_with(".workspace") || key.ends_with(".path") {
+                    continue;
+                }
+                let ok = value.contains("path") && value.contains('=') && !value.contains("git")
+                    || value.contains("workspace = true")
+                    || value.contains("workspace=true");
+                if !ok {
+                    out.push(Diagnostic {
+                        file: rel.to_string(),
+                        line: line_no,
+                        rule: RULE,
+                        message: format!(
+                            "dependency `{key}` = {value} does not resolve to a local path — \
+                             offline builds require path/vendored dependencies"
+                        ),
+                    });
+                }
+            }
+            Section::DepEntry { ok, .. } => {
+                let key = line.split('=').next().unwrap_or("").trim();
+                if key == "path" || (key == "workspace" && line.contains("true")) {
+                    *ok = true;
+                }
+                if key == "git" || key == "registry" {
+                    *ok = false;
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    flush(&mut section, out);
+}
+
+/// Finds and lints every workspace `Cargo.toml` under `root`.
+pub fn check(root: &Path, out: &mut Vec<Diagnostic>) {
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name == "Cargo.toml" {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if let Ok(text) = std::fs::read_to_string(&path) {
+                    check_manifest(&rel, &text, out);
+                }
+            }
+        }
+    }
+}

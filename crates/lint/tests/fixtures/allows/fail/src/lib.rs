@@ -1,0 +1,11 @@
+//! Negative fixture: malformed escape hatches.
+
+use std::time::Instant;
+
+pub fn stamp() {
+    // lint:allow(no-such-rule): this rule id does not exist.
+    let a = 1;
+    // lint:allow(det-wallclock)
+    let _t = Instant::now();
+    let _ = a;
+}

@@ -1,0 +1,8 @@
+//! Positive fixture: a well-formed escape hatch.
+
+use std::time::Instant;
+
+pub fn stamp() {
+    // lint:allow(det-wallclock): printed for the operator, never compared.
+    let _t = Instant::now();
+}

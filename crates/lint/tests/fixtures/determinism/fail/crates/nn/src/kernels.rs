@@ -1,0 +1,5 @@
+//! Negative fixture: implicit f32 iterator sum in a kernel module.
+
+pub fn norm2(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum::<f32>()
+}

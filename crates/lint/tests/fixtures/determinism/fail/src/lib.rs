@@ -1,0 +1,14 @@
+//! Negative fixture: hash-order iteration and a bare wall-clock read.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn report() -> u32 {
+    let m: HashMap<String, u32> = HashMap::new();
+    let mut total = 0;
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    let _started = Instant::now();
+    total
+}

@@ -1,0 +1,15 @@
+//! Positive fixture: ordered containers and justified wall-clock reads.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+pub fn report() -> u32 {
+    let m: BTreeMap<String, u32> = BTreeMap::new();
+    let mut total = 0;
+    for (_k, v) in m.iter() {
+        total += v;
+    }
+    // lint:allow(det-wallclock): feeds a printed timing stat only.
+    let _started = Instant::now();
+    total
+}

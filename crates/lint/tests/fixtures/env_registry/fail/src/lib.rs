@@ -1,0 +1,5 @@
+//! Negative fixture: reads a var the registry does not document.
+
+pub fn knob() -> bool {
+    std::env::var("EVEREST_FIXTURE_KNOB").is_ok()
+}

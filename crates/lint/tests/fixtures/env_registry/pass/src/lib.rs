@@ -1,0 +1,5 @@
+//! Positive fixture: the env var read here is documented in the registry.
+
+pub fn knob() -> bool {
+    std::env::var("EVEREST_FIXTURE_KNOB").is_ok()
+}

@@ -1,0 +1,5 @@
+//! Negative fixture: a bare unwrap in library code with budget zero.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

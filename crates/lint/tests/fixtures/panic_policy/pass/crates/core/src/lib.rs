@@ -1,0 +1,6 @@
+//! Positive fixture: the one unwrap carries a per-site justification.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // lint:allow(panic-unwrap): callers pass non-empty slices by contract.
+    *xs.first().unwrap()
+}

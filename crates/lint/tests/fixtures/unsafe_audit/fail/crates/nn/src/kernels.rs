@@ -1,0 +1,10 @@
+//! Negative fixture: every unsafe-audit rule fires once.
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn gemm_avx2(x: &[f32]) -> f32 {
+    x[0]
+}
+
+pub fn call_it(x: &[f32]) -> f32 {
+    unsafe { gemm_avx2(x) }
+}

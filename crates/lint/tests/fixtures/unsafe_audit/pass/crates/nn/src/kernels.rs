@@ -1,0 +1,20 @@
+//! Positive fixture: fully audited unsafe code.
+
+/// AVX2 inner kernel.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support on this CPU.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn gemm_avx2(x: &[f32]) -> f32 {
+    x[0]
+}
+
+pub fn dispatch(x: &[f32]) -> f32 {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence was checked on the line above.
+        unsafe { gemm_avx2(x) }
+    } else {
+        x[0]
+    }
+}

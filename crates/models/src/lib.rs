@@ -23,6 +23,8 @@
 //! Cost constants are simulated seconds per frame; every reported speedup
 //! is a ratio of simulated times, so only the *relative* magnitudes matter.
 
+#![deny(unsafe_code)]
+
 pub mod classic;
 pub mod counting;
 pub mod depth;

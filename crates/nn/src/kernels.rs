@@ -392,11 +392,11 @@ fn dot(x: &[f32], y: &[f32]) -> f32 {
         }
     }
     let mut sum = 0.0f32;
-    for l in 0..LANES {
-        sum += acc[l];
+    for &lane in &acc {
+        sum += lane;
     }
-    for p in chunks * LANES..x.len() {
-        sum += x[p] * y[p];
+    for (&xv, &yv) in x[chunks * LANES..].iter().zip(&y[chunks * LANES..]) {
+        sum += xv * yv;
     }
     sum
 }
@@ -443,6 +443,10 @@ mod avx2 {
             }
             let mut i0 = 0;
             while i0 + MR <= m {
+                // SAFETY: caller guarantees AVX2+FMA; i0 + MR ≤ m and
+                // j + NR ≤ n keep every row/column index of the tile in
+                // bounds of the caller-validated slices, and the strip
+                // was packed to k·NR elements above.
                 kernel_4x16_packed(k, n, i0, j, a, pack, c);
                 i0 += MR;
             }
@@ -465,6 +469,12 @@ mod avx2 {
     /// packed 16-wide `B` strip, eight `__m256` accumulators pinned in
     /// registers across the whole `k` loop. Same per-element ascending-`p`
     /// order as the scalar [`super::kernel_4x16`], with FMA rounding.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 + FMA at runtime; `a` must hold at least
+    /// `(i0 + MR)·k` elements, `pack` at least `k·NR`, and `c` the full
+    /// `m×n` output with `i0 + MR ≤ m` and `j + NR ≤ n`.
     #[target_feature(enable = "avx2", enable = "fma")]
     unsafe fn kernel_4x16_packed(
         k: usize,
@@ -586,10 +596,15 @@ mod avx512 {
             }
             let mut i0 = 0;
             while i0 + MR512 <= m {
+                // SAFETY: caller guarantees AVX-512F; i0 + MR512 ≤ m and
+                // j + NR512 ≤ n keep the 8×32 tile inside the validated
+                // slices; the strip was packed to k·NR512 elements above.
                 kernel_8x32_packed(k, n, i0, j, a, pack, c);
                 i0 += MR512;
             }
             if i0 + MR <= m {
+                // SAFETY: same bounds argument for the 4-row tail tile
+                // (i0 + MR ≤ m checked on the branch).
                 kernel_4x32_packed(k, n, i0, j, a, pack, c);
                 i0 += MR;
             }
@@ -599,12 +614,21 @@ mod avx512 {
             j += NR512;
         }
         if j < n {
+            // SAFETY: AVX-512F implies the AVX2+FMA this kernel needs;
+            // the slice-length invariants are inherited unchanged, with
+            // j ≤ n marking the already-computed column prefix.
             avx2::gemm(m, n, k, j, a, b, c, pack);
         }
     }
 
     /// 8×32 packed microkernel: sixteen zmm accumulators pinned across the
     /// whole `k` loop.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F at runtime; `a` must hold at least
+    /// `(i0 + MR512)·k` elements, `pack` at least `k·NR512`, and `c` the
+    /// full `m×n` output with `i0 + MR512 ≤ m` and `j + NR512 ≤ n`.
     #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
     unsafe fn kernel_8x32_packed(
         k: usize,
@@ -636,6 +660,12 @@ mod avx512 {
     }
 
     /// 4×32 packed microkernel for the `m % 8 ≥ 4` row tail.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX-512F at runtime; `a` must hold at least
+    /// `(i0 + MR)·k` elements, `pack` at least `k·NR512`, and `c` the
+    /// full `m×n` output with `i0 + MR ≤ m` and `j + NR512 ≤ n`.
     #[target_feature(enable = "avx512f", enable = "avx2", enable = "fma")]
     unsafe fn kernel_4x32_packed(
         k: usize,
@@ -824,11 +854,11 @@ fn deterministic_sum(x: &[f32]) -> f32 {
         }
     }
     let mut sum = 0.0f32;
-    for l in 0..LANES {
-        sum += acc[l];
+    for &lane in &acc {
+        sum += lane;
     }
-    for p in chunks * LANES..x.len() {
-        sum += x[p];
+    for &xv in &x[chunks * LANES..] {
+        sum += xv;
     }
     sum
 }

@@ -665,7 +665,10 @@ pub(crate) mod reference {
 
     /// Scalar conv backward (single sample): returns
     /// `(grad_in, grad_weight, grad_bias)`.
-    #[allow(clippy::too_many_arguments)]
+    // Index loops mirror the hand-derived gradient equations one-to-one;
+    // iterator rewrites would obscure the (o, y, x, i, ky, kx) indexing
+    // this reference implementation exists to spell out.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
     pub fn conv3x3_backward(
         in_ch: usize,
         out_ch: usize,
@@ -796,6 +799,9 @@ mod tests {
     }
 
     #[test]
+    // The numeric gradient check perturbs weight[wi] in place; the index
+    // is the subject of the test, not an iteration artefact.
+    #[allow(clippy::needless_range_loop)]
     fn conv_weight_gradient_check() {
         let mut rng = init_rng(9);
         let mut conv = Conv3x3::new(1, 1, 4, 4, &mut rng);
@@ -917,6 +923,9 @@ mod tests {
     }
 
     #[test]
+    // The reference grads are spelled index-style ((o, i) against the
+    // flattened weight matrix) to mirror the math being verified.
+    #[allow(clippy::needless_range_loop)]
     fn dense_batched_matches_per_sample() {
         let mut rng = init_rng(21);
         let mut d = Dense::new(7, 5, &mut rng);

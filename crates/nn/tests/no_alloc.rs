@@ -16,18 +16,35 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: a counting wrapper around `System` — every method forwards to
+// the system allocator verbatim, so `System`'s GlobalAlloc guarantees
+// (layout validity, non-aliasing) carry over; the counter is atomic.
 unsafe impl GlobalAlloc for CountingAlloc {
+    /// # Safety
+    ///
+    /// Same contract as [`System::alloc`]: `layout` must have non-zero
+    /// size (forwarded unchanged).
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded as-is.
         System.alloc(layout)
     }
 
+    /// # Safety
+    ///
+    /// Same contract as [`System::dealloc`]: `ptr` must come from this
+    /// allocator with the same `layout` (forwarded unchanged).
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded as-is.
         System.dealloc(ptr, layout)
     }
 
+    /// # Safety
+    ///
+    /// Same contract as [`System::realloc`] (forwarded unchanged).
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: caller upholds GlobalAlloc's contract; forwarded as-is.
         System.realloc(ptr, layout, new_size)
     }
 }

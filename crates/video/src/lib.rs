@@ -25,6 +25,8 @@
 //! Everything is deterministic given a seed: `frame(i)` is a pure function
 //! of `(video_seed, i)`, so no frames ever need to be stored.
 
+#![deny(unsafe_code)]
+
 pub mod arrival;
 pub mod dashcam;
 pub mod datasets;

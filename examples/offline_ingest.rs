@@ -57,6 +57,8 @@ fn main() {
         seed: 7,
         ..Phase1Config::default()
     };
+    // lint:allow(det-wallclock): demo prints wall times for the reader;
+    // the ingest output itself is seed-deterministic.
     let t0 = Instant::now();
     let prepared = Everest::prepare(&video, &oracle, &phase1);
     let ingest_wall = t0.elapsed();
@@ -74,6 +76,7 @@ fn main() {
     );
 
     // ---- query process (would be a different process / machine) ----
+    // lint:allow(det-wallclock): demo prints wall times for the reader.
     let t1 = Instant::now();
     let restored = IngestIndex::load(&path)
         .expect("load index")
@@ -86,6 +89,7 @@ fn main() {
         thres: 0.9,
         ..Default::default()
     };
+    // lint:allow(det-wallclock): demo prints wall times for the reader.
     let t2 = Instant::now();
     let answer = restored.query_topk(&oracle, 10, 0.9, &cfg);
     let query_wall = t2.elapsed();

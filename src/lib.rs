@@ -20,6 +20,8 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![deny(unsafe_code)]
+
 pub use everest_core as core;
 pub use everest_evql as evql;
 pub use everest_models as models;

@@ -18,6 +18,8 @@
 //! files against the committed `bench_baseline.json` so perf PRs can
 //! prove their wins.
 
+#![deny(unsafe_code)]
+
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 

@@ -4,6 +4,8 @@
 //! backpressure semantics for the single-producer/single-consumer
 //! prefetcher in `everest-core`.
 
+#![deny(unsafe_code)]
+
 pub mod channel {
     use std::sync::mpsc;
 

@@ -3,6 +3,8 @@
 //! lock is recovered transparently, matching parking_lot's semantics of
 //! never poisoning.
 
+#![deny(unsafe_code)]
+
 use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
 pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;

@@ -10,6 +10,8 @@
 //! the per-test RNG is seeded from the test's name, so every run explores
 //! the identical case sequence.
 
+#![deny(unsafe_code)]
+
 pub mod test_runner {
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -9,6 +9,8 @@
 //! but fully deterministic for a given `seed_from_u64` input, which is the
 //! property the workspace's determinism guarantees actually rely on.
 
+#![deny(unsafe_code)]
+
 /// Low-level source of randomness.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;

@@ -8,6 +8,8 @@
 //! `#[derive(Serialize, Deserialize)]`, including the `#[serde(skip)]`
 //! and `#[serde(from = "...", into = "...")]` attributes used here.
 
+#![deny(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 pub mod value {

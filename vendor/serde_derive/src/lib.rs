@@ -14,6 +14,8 @@
 //!
 //! Generic containers are not supported and produce a compile error.
 
+#![deny(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 // ---- item model ----

@@ -4,6 +4,8 @@
 //! JSON (UTF-8, `\uXXXX` escapes, exact integer round-trips, shortest
 //! round-trip floats via `{:?}`).
 
+#![deny(unsafe_code)]
+
 use serde::value::Value;
 use serde::{DeError, Deserialize, Serialize};
 use std::io::{Read, Write};
