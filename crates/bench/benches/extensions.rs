@@ -8,12 +8,14 @@
 //! staircase form matters once point sets grow.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use everest_core::cleaner::FnCleaningOracle;
 use everest_core::dist::DiscreteDist;
 use everest_core::semantics::{expected_rank_topk, expected_ranks};
 use everest_core::semantics_dp::{u_kranks_dp, u_topk_dp, RankTable};
 use everest_core::skyline::{
     dominates, prob_dominated, skyline_of, skyline_of_pairwise, skyline_state, VectorRelation,
 };
+use everest_core::stream::{run_stream, Maintenance, StreamConfig};
 use everest_core::xtuple::UncertainRelation;
 use everest_evql::{analyze_select, parse, SessionSettings};
 use rand::rngs::StdRng;
@@ -190,6 +192,75 @@ fn bench_dp_semantics(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-frame proxy distributions for the streaming benches: the same
+/// Gaussian-bump shape as `random_relation`, as a bare `Vec`.
+fn random_stream_dists(n: usize, seed: u64) -> Vec<DiscreteDist> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let center: f64 = rng.gen_range(0.0..MAX_B as f64);
+            let masses: Vec<f64> = (0..=MAX_B)
+                .map(|b| (-((b as f64 - center) / 1.2).powi(2)).exp() + 1e-9)
+                .collect();
+            DiscreteDist::from_masses(&masses)
+        })
+        .collect()
+}
+
+/// Continuous Top-K maintenance: the O(delta) claim in numbers.
+///
+/// `stream_step` runs a full 10k-frame landmark stream (emit every 100
+/// frames, oracle budget 1/emit) under both maintenance modes. The
+/// incremental engine pays one `JointCdf::add` per arrival; the rebuild
+/// reference pays an O(prefix) `JointCdf::build` per emit — the target in
+/// docs/BENCHMARKING.md is incremental ≥ 10× faster at this scale.
+/// `stream_window_advance` is the sliding-window variant, where each
+/// arrival additionally expires a frame (`add` + `remove`) and the rebuild
+/// reference reconstructs the whole window per emit.
+fn bench_stream(c: &mut Criterion) {
+    let n = 10_000;
+    let dists = random_stream_dists(n, 47);
+    let truth: Vec<u32> = dists
+        .iter()
+        .map(|d| d.mean_bucket().round() as u32)
+        .collect();
+    let cfg = |window: Option<usize>, maintenance: Maintenance| StreamConfig {
+        k: 5,
+        emit_every: 100,
+        window,
+        budget_per_emit: Some(1),
+        maintenance,
+        max_bucket: MAX_B,
+        ..StreamConfig::default()
+    };
+    let run = |cfg: &StreamConfig, dists: &[DiscreteDist]| {
+        let mut oracle = FnCleaningOracle(|id| truth[id]);
+        black_box(run_stream(cfg, dists, &mut oracle).len())
+    };
+
+    let mut group = c.benchmark_group("stream_step");
+    let inc = cfg(None, Maintenance::Incremental);
+    let reb = cfg(None, Maintenance::Rebuild);
+    group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+        b.iter(|| run(&inc, black_box(&dists)))
+    });
+    group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+        b.iter(|| run(&reb, black_box(&dists)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("stream_window_advance");
+    let inc = cfg(Some(1_000), Maintenance::Incremental);
+    let reb = cfg(Some(1_000), Maintenance::Rebuild);
+    group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+        b.iter(|| run(&inc, black_box(&dists)))
+    });
+    group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+        b.iter(|| run(&reb, black_box(&dists)))
+    });
+    group.finish();
+}
+
 fn bench_evql_frontend(c: &mut Criterion) {
     let mut group = c.benchmark_group("evql");
     let queries = [
@@ -231,6 +302,7 @@ criterion_group!(
     bench_skyline,
     bench_expected_ranks,
     bench_dp_semantics,
+    bench_stream,
     bench_evql_frontend
 );
 criterion_main!(benches);

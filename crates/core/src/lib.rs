@@ -20,6 +20,9 @@
 //!   oracle cleaning, convergence guarantee;
 //! * [`window`] — Top-K over tumbling windows (Eq. 9 + sampled
 //!   confirmation, §3.4);
+//! * [`stream`] — continuous Top-K over live streams: sliding/tumbling
+//!   windows advanced in O(delta), boundary-focused cleaning, and the
+//!   batch-replay reference the equivalence harness compares against;
 //! * [`phase1`] — CMDN sampling/training/model-selection and the initial
 //!   uncertain relation `D0` (§3.2);
 //! * [`pipeline`] — the end-to-end engine with simulated-cost accounting
@@ -78,6 +81,7 @@ pub mod semantics;
 pub mod semantics_dp;
 pub mod sim;
 pub mod skyline;
+pub mod stream;
 pub mod topkprob;
 pub mod window;
 pub mod xtuple;
@@ -91,5 +95,6 @@ pub mod prelude {
     pub use crate::phase1::Phase1Config;
     pub use crate::pipeline::{Everest, PreparedVideo, QueryReport, ResultItem};
     pub use crate::sim::SimClock;
+    pub use crate::stream::{StreamAnswer, StreamConfig, StreamTopK};
     pub use crate::xtuple::{ItemId, UncertainRelation};
 }

@@ -39,6 +39,7 @@
 
 use crate::dist::DiscreteDist;
 use crate::xtuple::ItemId;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One dimension of one item: a distribution or an exact bucket.
 #[derive(Debug, Clone, PartialEq)]
@@ -217,6 +218,7 @@ impl VectorRelation {
         self.items[id][j].cdf(bucket)
     }
 
+    #[cfg(test)]
     fn dim(&self, id: ItemId, j: usize) -> &DimState {
         &self.items[id][j]
     }
@@ -326,19 +328,26 @@ pub fn skyline_of_pairwise(vectors: &[(ItemId, Vec<u32>)]) -> Vec<ItemId> {
 /// `d = 3` it enumerates `u`'s support grid (`O(m³ · s)` worst case, fine
 /// at video-score bucket counts).
 pub fn prob_dominated(rel: &VectorRelation, u: ItemId, points: &[Vec<u32>]) -> f64 {
+    prob_dominated_dims(&rel.items[u], points)
+}
+
+/// [`prob_dominated`] for a free-standing item given as per-dimension
+/// states — the form the incremental [`SkylineMaintainer`] uses, where
+/// items live outside any fixed-index relation.
+pub fn prob_dominated_dims(item: &[DimState], points: &[Vec<u32>]) -> f64 {
     if points.is_empty() {
         return 0.0;
     }
-    match rel.dims() {
-        2 => prob_dominated_2d(rel, u, points),
-        3 => prob_dominated_grid(rel, u, points),
-        d => unreachable!("VectorRelation::new rejects d={d}"),
+    match item.len() {
+        2 => prob_dominated_2d(item, points),
+        3 => prob_dominated_grid(item, points),
+        d => panic!("skylines need 2 or 3 dimensions, got {d}"),
     }
 }
 
-fn prob_dominated_2d(rel: &VectorRelation, u: ItemId, points: &[Vec<u32>]) -> f64 {
-    let x_state = rel.dim(u, 0);
-    let y_state = rel.dim(u, 1);
+fn prob_dominated_2d(item: &[DimState], points: &[Vec<u32>]) -> f64 {
+    let x_state = &item[0];
+    let y_state = &item[1];
     let (x_lo, x_hi) = x_state.support();
 
     // For each x, the largest y that is still dominated:
@@ -367,11 +376,11 @@ fn prob_dominated_2d(rel: &VectorRelation, u: ItemId, points: &[Vec<u32>]) -> f6
     total
 }
 
-fn prob_dominated_grid(rel: &VectorRelation, u: ItemId, points: &[Vec<u32>]) -> f64 {
-    let supports: Vec<(usize, usize)> = (0..rel.dims()).map(|j| rel.dim(u, j).support()).collect();
+fn prob_dominated_grid(item: &[DimState], points: &[Vec<u32>]) -> f64 {
+    let supports: Vec<(usize, usize)> = item.iter().map(|d| d.support()).collect();
     let mut total = 0.0;
-    let mut v = vec![0u32; rel.dims()];
-    enumerate_support(rel, u, &supports, 0, 1.0, &mut v, &mut |v, mass| {
+    let mut v = vec![0u32; item.len()];
+    enumerate_support(item, &supports, 0, 1.0, &mut v, &mut |v, mass| {
         if points.iter().any(|p| dominates(p, v)) {
             total += mass;
         }
@@ -380,8 +389,7 @@ fn prob_dominated_grid(rel: &VectorRelation, u: ItemId, points: &[Vec<u32>]) -> 
 }
 
 fn enumerate_support(
-    rel: &VectorRelation,
-    u: ItemId,
+    item: &[DimState],
     supports: &[(usize, usize)],
     j: usize,
     mass: f64,
@@ -397,10 +405,10 @@ fn enumerate_support(
     }
     let (lo, hi) = supports[j];
     for b in lo..=hi {
-        let p = rel.dim(u, j).pmf(b);
+        let p = item[j].pmf(b);
         if p > 0.0 {
             v[j] = b as u32;
-            enumerate_support(rel, u, supports, j + 1, mass * p, v, f);
+            enumerate_support(item, supports, j + 1, mass * p, v, f);
         }
     }
 }
@@ -443,6 +451,260 @@ pub fn skyline_state(rel: &VectorRelation) -> SkylineState {
         skyline,
         factors,
         confidence,
+    }
+}
+
+/// Counters of the incremental maintainer's actual work — asserted by
+/// tests (and read by benches) to pin the O(affected) claim.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaintainerStats {
+    /// Domination factors (re)computed.
+    pub factor_recomputes: u64,
+    /// Full certain-skyline rebuilds (only on skyline-member removal).
+    pub skyline_rebuilds: u64,
+}
+
+/// Incrementally-maintained [`SkylineState`] under item insertion, removal
+/// and cleaning — the streaming counterpart of [`skyline_state`], which
+/// survives unchanged as the from-scratch oracle it is property-tested
+/// against (`tests/skyline_properties.rs`).
+///
+/// The key observation (d = 2): adding or removing a staircase point
+/// `(a, b)` changes `ybound(x)` only for `x ≤ a`, so only uncertain items
+/// whose x-support intersects `[0, max a over changed points]` can see a
+/// different domination factor — everything else keeps its stored value,
+/// bit-for-bit (the staircase walk consumes integer `ybound`s, which are
+/// unchanged outside the affected range). For d = 3 any staircase change
+/// recomputes all factors; insertions of dominated points and removals of
+/// non-members never touch a factor in either dimensionality. This retires
+/// the ROADMAP item about [`run_skyline_cleaner`] recomputing every factor
+/// per iteration.
+#[derive(Debug, Clone)]
+pub struct SkylineMaintainer {
+    max_bucket: Vec<usize>,
+    items: BTreeMap<ItemId, Vec<DimState>>,
+    /// Certain skyline member ids.
+    skyline: BTreeSet<ItemId>,
+    /// Domination factors of the not-fully-certain items.
+    factors: BTreeMap<ItemId, f64>,
+    pub stats: MaintainerStats,
+}
+
+impl SkylineMaintainer {
+    pub fn new(max_bucket: Vec<usize>) -> Self {
+        assert!(
+            (2..=3).contains(&max_bucket.len()),
+            "skylines need 2 or 3 dimensions, got {}",
+            max_bucket.len()
+        );
+        SkylineMaintainer {
+            max_bucket,
+            items: BTreeMap::new(),
+            skyline: BTreeSet::new(),
+            factors: BTreeMap::new(),
+            stats: MaintainerStats::default(),
+        }
+    }
+
+    /// Seeds a maintainer with every item of a relation (ids preserved).
+    pub fn from_relation(rel: &VectorRelation) -> Self {
+        let mut m = SkylineMaintainer::new(rel.max_bucket.clone());
+        for (id, dims) in rel.items.iter().enumerate() {
+            m.insert(id, dims.clone());
+        }
+        m
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.items.contains_key(&id)
+    }
+
+    fn vector_of(dims: &[DimState]) -> Option<Vec<u32>> {
+        dims.iter()
+            .map(|d| match d {
+                DimState::Certain(b) => Some(*b),
+                DimState::Uncertain(_) => None,
+            })
+            .collect()
+    }
+
+    /// Current skyline point vectors, ascending id order.
+    fn points(&self) -> Vec<Vec<u32>> {
+        self.skyline
+            .iter()
+            // lint:allow(panic-unwrap): only fully-certain items ever enter `skyline`
+            .map(|s| Self::vector_of(&self.items[s]).expect("skyline member is certain"))
+            .collect()
+    }
+
+    /// Adds an item under a fresh id (never reuse an id while present).
+    pub fn insert(&mut self, id: ItemId, dims: Vec<DimState>) {
+        assert_eq!(
+            dims.len(),
+            self.max_bucket.len(),
+            "dimension count mismatch"
+        );
+        for (j, d) in dims.iter().enumerate() {
+            match d {
+                DimState::Uncertain(dist) => assert_eq!(
+                    dist.max_bucket(),
+                    self.max_bucket[j],
+                    "dim {j}: distribution grid mismatch"
+                ),
+                DimState::Certain(b) => assert!(
+                    *b as usize <= self.max_bucket[j],
+                    "dim {j}: bucket {b} beyond grid"
+                ),
+            }
+        }
+        assert!(!self.items.contains_key(&id), "item {id} already present");
+        match Self::vector_of(&dims) {
+            Some(v) => {
+                self.items.insert(id, dims);
+                self.insert_certain_point(id, v);
+            }
+            None => {
+                let f = prob_dominated_dims(&dims, &self.points());
+                self.stats.factor_recomputes += 1;
+                self.items.insert(id, dims);
+                self.factors.insert(id, f);
+            }
+        }
+    }
+
+    /// Folds a new certain point into the skyline and refreshes only the
+    /// factors its staircase change can reach.
+    fn insert_certain_point(&mut self, id: ItemId, v: Vec<u32>) {
+        let dominated = self.skyline.iter().any(|s| {
+            // lint:allow(panic-unwrap): only fully-certain items ever enter `skyline`
+            let w = Self::vector_of(&self.items[s]).expect("certain");
+            dominates(&w, &v)
+        });
+        if dominated {
+            // A dominated point changes neither the skyline nor any factor.
+            return;
+        }
+        let evicted: Vec<ItemId> = self
+            .skyline
+            .iter()
+            .filter(|s| {
+                // lint:allow(panic-unwrap): only fully-certain items ever enter `skyline`
+                let w = Self::vector_of(&self.items[s]).expect("certain");
+                dominates(&v, &w)
+            })
+            .copied()
+            .collect();
+        let mut changed: Vec<Vec<u32>> = evicted
+            .iter()
+            // lint:allow(panic-unwrap): evicted ids came out of `skyline`, hence certain
+            .map(|s| Self::vector_of(&self.items[s]).expect("certain"))
+            .collect();
+        for s in &evicted {
+            self.skyline.remove(s);
+        }
+        self.skyline.insert(id);
+        changed.push(v);
+        self.refresh_factors(&changed);
+    }
+
+    /// Removes an item (stream expiry). Uncertain items and dominated
+    /// certain points leave without touching any factor; removing a
+    /// skyline member rebuilds the certain skyline (dominated points may
+    /// re-enter) and refreshes the affected factors.
+    pub fn remove(&mut self, id: ItemId) {
+        // lint:allow(panic-unwrap): removing an id never inserted is a caller bug
+        let dims = self.items.remove(&id).expect("removing unknown item");
+        if self.factors.remove(&id).is_some() {
+            return;
+        }
+        if !self.skyline.remove(&id) {
+            return;
+        }
+        // lint:allow(panic-unwrap): the id was in `skyline`, hence fully certain
+        let v = Self::vector_of(&dims).expect("certain");
+        let certain: Vec<(ItemId, Vec<u32>)> = self
+            .items
+            .iter()
+            .filter_map(|(&i, d)| Self::vector_of(d).map(|w| (i, w)))
+            .collect();
+        let new_sky: BTreeSet<ItemId> = skyline_of(&certain).into_iter().collect();
+        self.stats.skyline_rebuilds += 1;
+        let mut changed: Vec<Vec<u32>> = new_sky
+            .difference(&self.skyline)
+            // lint:allow(panic-unwrap): `skyline_of` only ranges over the certain subset
+            .map(|i| Self::vector_of(&self.items[i]).expect("certain"))
+            .collect();
+        changed.push(v);
+        self.skyline = new_sky;
+        self.refresh_factors(&changed);
+    }
+
+    /// Confirms an uncertain item's exact vector (oracle cleaning).
+    pub fn clean(&mut self, id: ItemId, v: &[u32]) {
+        assert_eq!(v.len(), self.max_bucket.len(), "dimension count mismatch");
+        for (j, &b) in v.iter().enumerate() {
+            assert!(
+                b as usize <= self.max_bucket[j],
+                "dim {j}: bucket {b} beyond grid"
+            );
+        }
+        // lint:allow(panic-unwrap): cleaning an id never inserted is a caller bug
+        let dims = self.items.get_mut(&id).expect("cleaning unknown item");
+        assert!(
+            dims.iter().any(|d| matches!(d, DimState::Uncertain(_))),
+            "item {id} cleaned twice"
+        );
+        *dims = v.iter().map(|&b| DimState::Certain(b)).collect();
+        self.factors.remove(&id);
+        self.insert_certain_point(id, v.to_vec());
+    }
+
+    /// Recomputes the factors a staircase change can affect. `changed`
+    /// holds every point added to or removed from the skyline.
+    fn refresh_factors(&mut self, changed: &[Vec<u32>]) {
+        if changed.is_empty() || self.factors.is_empty() {
+            return;
+        }
+        let points = self.points();
+        let two_d = self.max_bucket.len() == 2;
+        let x_cut = changed.iter().map(|p| p[0] as usize).max().unwrap_or(0);
+        let ids: Vec<ItemId> = self.factors.keys().copied().collect();
+        for id in ids {
+            let dims = &self.items[&id];
+            if two_d && dims[0].support().0 > x_cut {
+                continue; // its ybound(x) range is untouched
+            }
+            let f = prob_dominated_dims(dims, &points);
+            self.stats.factor_recomputes += 1;
+            self.factors.insert(id, f);
+        }
+    }
+
+    /// The current [`SkylineState`], identical (to fp identity of each
+    /// factor) to `skyline_state` on an equivalent relation.
+    pub fn state(&self) -> SkylineState {
+        let mut confidence = 1.0;
+        let factors: Vec<(ItemId, f64)> = self
+            .factors
+            .iter()
+            .map(|(&id, &f)| {
+                confidence *= f;
+                (id, f)
+            })
+            .collect();
+        SkylineState {
+            skyline: self.skyline.iter().copied().collect(),
+            factors,
+            confidence,
+        }
     }
 }
 
@@ -493,6 +755,11 @@ pub struct SkylineOutcome {
 /// smallest domination factors. Like Phase 2 for Top-K, the loop always
 /// terminates: every cleaning strictly shrinks `Dᵘ`, and with `Dᵘ = ∅`
 /// the confidence is exactly 1.
+///
+/// The per-iteration state comes from an incremental [`SkylineMaintainer`]
+/// (each cleaning refreshes only the factors its staircase change can
+/// reach) rather than a full [`skyline_state`] recompute; the two are
+/// property-tested equal, factor for factor.
 pub fn run_skyline_cleaner(
     rel: &mut VectorRelation,
     oracle: &mut dyn SkylineOracle,
@@ -500,10 +767,11 @@ pub fn run_skyline_cleaner(
 ) -> SkylineOutcome {
     assert!((0.0..1.0).contains(&cfg.thres), "thres must be in [0, 1)");
     assert!(cfg.batch_size >= 1);
+    let mut maintainer = SkylineMaintainer::from_relation(rel);
     let mut iterations = 0;
     let mut cleaned = 0;
     loop {
-        let state = skyline_state(rel);
+        let state = maintainer.state();
         if state.confidence >= cfg.thres {
             return SkylineOutcome {
                 skyline: state.skyline,
@@ -541,6 +809,7 @@ pub fn run_skyline_cleaner(
         );
         for (id, v) in batch.iter().zip(&vectors) {
             rel.clean(*id, v);
+            maintainer.clean(*id, v);
             cleaned += 1;
         }
         iterations += 1;
@@ -585,10 +854,10 @@ pub fn pws_skyline_probability(rel: &VectorRelation, candidate: &[ItemId]) -> f6
                 }
             }
             Some((&u, rest)) => {
-                let supports: Vec<(usize, usize)> =
-                    (0..rel.dims()).map(|j| rel.dim(u, j).support()).collect();
+                let item = &rel.items[u];
+                let supports: Vec<(usize, usize)> = item.iter().map(|d| d.support()).collect();
                 let mut v = vec![0u32; rel.dims()];
-                enumerate_support(rel, u, &supports, 0, 1.0, &mut v, &mut |v, m| {
+                enumerate_support(item, &supports, 0, 1.0, &mut v, &mut |v, m| {
                     fixed.push((u, v.to_vec()));
                     recurse(rel, rest, fixed, mass * m, candidate, total);
                     fixed.pop();
@@ -756,6 +1025,122 @@ mod tests {
         assert!(state.skyline.is_empty());
         assert_eq!(state.confidence, 0.0);
         assert_eq!(pws_skyline_probability(&rel, &[]), 0.0);
+    }
+
+    /// Asserts a maintainer's state equals a from-scratch recompute over
+    /// the same item set, factor for factor.
+    fn assert_state_matches(m: &SkylineMaintainer, rel: &VectorRelation) {
+        let inc = m.state();
+        let full = skyline_state(rel);
+        assert_eq!(inc.skyline, full.skyline, "skyline diverged");
+        assert_eq!(inc.factors.len(), full.factors.len());
+        for ((ia, fa), (ib, fb)) in inc.factors.iter().zip(&full.factors) {
+            assert_eq!(ia, ib, "factor id order diverged");
+            assert!((fa - fb).abs() < 1e-12, "factor {ia}: {fa} vs {fb}");
+        }
+        assert!(
+            (inc.confidence - full.confidence).abs() < 1e-12,
+            "confidence {} vs {}",
+            inc.confidence,
+            full.confidence
+        );
+    }
+
+    #[test]
+    fn maintainer_matches_full_recompute_after_cleaning() {
+        let (mut rel, oracle) = noisy_setup(25, 42);
+        let mut m = SkylineMaintainer::from_relation(&rel);
+        assert_state_matches(&m, &rel);
+        for id in [3, 17, 0, 9, 21] {
+            let v = oracle.truth[id].clone();
+            rel.clean(id, &v);
+            m.clean(id, &v);
+            assert_state_matches(&m, &rel);
+        }
+    }
+
+    #[test]
+    fn maintainer_removal_readmits_dominated_points() {
+        // (2,2) dominates (1,1); removing it must bring (1,1) back.
+        let mut m = SkylineMaintainer::new(vec![3, 3]);
+        m.insert(0, vec![DimState::Certain(2), DimState::Certain(2)]);
+        m.insert(1, vec![DimState::Certain(1), DimState::Certain(1)]);
+        m.insert(
+            2,
+            vec![
+                DimState::Uncertain(d(&[0.5, 0.25, 0.25, 0.0])),
+                DimState::Uncertain(d(&[0.5, 0.25, 0.25, 0.0])),
+            ],
+        );
+        assert_eq!(m.state().skyline, vec![0]);
+        m.remove(0);
+        assert_eq!(m.state().skyline, vec![1]);
+        assert_eq!(m.stats.skyline_rebuilds, 1);
+        // Factor must now be computed against {(1,1)}, not the old point.
+        let mut rel = VectorRelation::new(vec![3, 3]);
+        rel.push_certain(&[1, 1]);
+        rel.push_uncertain(vec![d(&[0.5, 0.25, 0.25, 0.0]), d(&[0.5, 0.25, 0.25, 0.0])]);
+        let expect = skyline_state(&rel);
+        let got = m.state();
+        assert!((got.factors[0].1 - expect.factors[0].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maintainer_skips_factors_outside_staircase_change() {
+        // Skyline {(5,5)}; an uncertain item supported on x ∈ {7, 8} can
+        // never be affected by a new point at x = 2, so its factor must
+        // not be recomputed.
+        let mut m = SkylineMaintainer::new(vec![8, 8]);
+        m.insert(0, vec![DimState::Certain(5), DimState::Certain(5)]);
+        let mut far = vec![0.0; 9];
+        far[7] = 0.5;
+        far[8] = 0.5;
+        m.insert(
+            1,
+            vec![
+                DimState::Uncertain(d(&far)),
+                DimState::Uncertain(d(&[0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])),
+            ],
+        );
+        let before = m.stats.factor_recomputes;
+        // (2, 6) is incomparable with (5, 5): it joins the skyline with
+        // x_cut = 2 < 7 = the far item's minimum x.
+        m.insert(2, vec![DimState::Certain(2), DimState::Certain(6)]);
+        assert_eq!(m.state().skyline, vec![0, 2]);
+        assert_eq!(
+            m.stats.factor_recomputes, before,
+            "far item's factor must be skipped"
+        );
+        // And the skipped value is still the correct one.
+        let mut rel = VectorRelation::new(vec![8, 8]);
+        rel.push_certain(&[5, 5]);
+        rel.push_uncertain(vec![
+            d(&far),
+            d(&[0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+        ]);
+        rel.push_certain(&[2, 6]);
+        assert_state_matches(&m, &rel);
+    }
+
+    #[test]
+    fn maintainer_dominated_insert_touches_nothing() {
+        let mut m = SkylineMaintainer::new(vec![4, 4]);
+        m.insert(0, vec![DimState::Certain(3), DimState::Certain(3)]);
+        m.insert(
+            1,
+            vec![
+                DimState::Uncertain(d(&[0.2, 0.2, 0.2, 0.2, 0.2])),
+                DimState::Uncertain(d(&[0.2, 0.2, 0.2, 0.2, 0.2])),
+            ],
+        );
+        let before = m.stats.factor_recomputes;
+        m.insert(2, vec![DimState::Certain(1), DimState::Certain(1)]);
+        assert_eq!(m.stats.factor_recomputes, before);
+        assert_eq!(m.state().skyline, vec![0]);
+        // Removing the dominated non-member is also free.
+        m.remove(2);
+        assert_eq!(m.stats.factor_recomputes, before);
+        assert_eq!(m.stats.skyline_rebuilds, 0);
     }
 
     struct TableOracle {

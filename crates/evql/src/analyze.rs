@@ -123,7 +123,16 @@ impl SessionSettings {
 }
 
 /// The option names a `WITH` clause accepts.
-const OPTION_NAMES: [&str; 6] = ["confidence", "sample", "step", "seed", "batch", "resort"];
+const OPTION_NAMES: [&str; 8] = [
+    "confidence",
+    "sample",
+    "step",
+    "seed",
+    "batch",
+    "resort",
+    "window",
+    "budget",
+];
 
 /// Analyzes a `SELECT` statement into an executable plan.
 pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan, EvqlError> {
@@ -172,6 +181,8 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
     let mut seed = session.seed;
     let mut batch = session.batch;
     let mut resort = session.resort;
+    let mut stream_window: Option<(usize, Span)> = None;
+    let mut stream_budget: Option<(usize, Span)> = None;
     for opt in &stmt.options {
         let lname = opt.name.to_ascii_lowercase();
         let bad = |detail: &str| {
@@ -226,6 +237,23 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
                     .filter(|v| *v >= 1)
                     .ok_or_else(|| bad("expected an integer ≥ 1"))?
                     as usize;
+            }
+            "window" => {
+                let w = opt
+                    .value
+                    .as_u64()
+                    .filter(|v| *v >= 1)
+                    .ok_or_else(|| bad("expected a window length of at least 1 frame"))?
+                    as usize;
+                stream_window = Some((w, opt.name_span));
+            }
+            "budget" => {
+                let b = opt
+                    .value
+                    .as_u64()
+                    .ok_or_else(|| bad("expected a per-emit cleaning budget ≥ 0"))?
+                    as usize;
+                stream_budget = Some((b, opt.name_span));
             }
             other => {
                 return Err(EvqlError::new(
@@ -303,6 +331,72 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
         }
     };
 
+    // -- EVERY … EMIT (continuous queries) --
+    if let Some((stride, stride_span)) = stmt.every {
+        if stride == 0 {
+            return Err(EvqlError::new(
+                ErrorKind::OutOfRange {
+                    what: "EVERY".into(),
+                    detail: "the emit stride must be at least 1 frame".into(),
+                },
+                stride_span,
+            ));
+        }
+        if stride as usize > n_frames {
+            return Err(EvqlError::new(
+                ErrorKind::OutOfRange {
+                    what: "EVERY".into(),
+                    detail: format!(
+                        "an emit stride of {stride} frames exceeds the video \
+                         ({n_frames} frames at scale 1/{}) — the stream would never emit",
+                        session.scale
+                    ),
+                },
+                stride_span,
+            ));
+        }
+        if !matches!(target, PlanTarget::Frames) {
+            return Err(EvqlError::new(
+                ErrorKind::Incompatible(
+                    "EVERY … EMIT streams frame queries; window targets are batch-only \
+                     (stream a frame query WITH WINDOW <w> for sliding windows)"
+                        .into(),
+                ),
+                stride_span,
+            ));
+        }
+        if engine != Engine::Everest {
+            return Err(EvqlError::new(
+                ErrorKind::Incompatible(format!(
+                    "engine `{}` cannot stream; EVERY … EMIT needs the `everest` \
+                     engine's incremental joint CDF",
+                    engine.display()
+                )),
+                stmt.engine.as_ref().map_or(stride_span, |(_, s)| *s),
+            ));
+        }
+    } else {
+        if let Some((_, span)) = stream_window {
+            return Err(EvqlError::new(
+                ErrorKind::Incompatible(
+                    "option `window` configures a continuous query; add EVERY <n> FRAMES EMIT \
+                     (batch window queries use `WINDOWS OF <len> FRAMES`)"
+                        .into(),
+                ),
+                span,
+            ));
+        }
+        if let Some((_, span)) = stream_budget {
+            return Err(EvqlError::new(
+                ErrorKind::Incompatible(
+                    "option `budget` configures a continuous query; add EVERY <n> FRAMES EMIT"
+                        .into(),
+                ),
+                span,
+            ));
+        }
+    }
+
     // -- K --
     if stmt.k == 0 {
         return Err(EvqlError::new(
@@ -326,6 +420,9 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
         resort_period: resort,
         scale_divisor: session.scale,
         n_frames,
+        emit_every: stmt.every.map(|(n, _)| n as usize),
+        stream_window: stream_window.map(|(w, _)| w),
+        stream_budget: stream_budget.map(|(b, _)| b),
     };
     let n_items = plan.n_items();
     if plan.k > n_items {
@@ -348,7 +445,9 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
     }
     // Hygiene: the certain-result condition needs at least one oracle call
     // per answer; a K of the full item count degenerates to scan-and-test.
-    if plan.k == n_items && plan.engine == Engine::Everest {
+    // Continuous queries are exempt — mid-stream prefixes still rank fewer
+    // than K frames, and streaming requires the Everest engine anyway.
+    if plan.k == n_items && plan.engine == Engine::Everest && plan.emit_every.is_none() {
         plan.engine = Engine::Scan;
     }
     Ok(plan)
@@ -761,6 +860,85 @@ mod tests {
 
     use crate::catalog::source_by_name;
     use crate::token::Span;
+
+    // ---- EVERY … EMIT (continuous queries) ----
+
+    #[test]
+    fn streaming_plan_resolves_every_window_budget() {
+        let p = plan_of(
+            "SELECT TOP 5 FRAMES FROM Archie EVERY 100 FRAMES EMIT WITH WINDOW 500, BUDGET 16",
+        )
+        .unwrap();
+        assert_eq!(p.emit_every, Some(100));
+        assert_eq!(p.stream_window, Some(500));
+        assert_eq!(p.stream_budget, Some(16));
+        assert_eq!(p.engine, Engine::Everest);
+        let p = plan_of("SELECT TOP 5 FRAMES FROM Archie EVERY 100 FRAMES EMIT").unwrap();
+        assert_eq!((p.stream_window, p.stream_budget), (None, None));
+    }
+
+    #[test]
+    fn every_zero_stride_rejected_with_span() {
+        let src = "SELECT TOP 5 FRAMES FROM Archie EVERY 0 FRAMES EMIT";
+        let stmt = match parse(src).unwrap() {
+            crate::ast::Statement::Select(s) => s,
+            other => panic!("{other:?}"),
+        };
+        let e = analyze(&stmt, &SessionSettings::default()).unwrap_err();
+        assert!(e.message().contains("at least 1 frame"), "{}", e.message());
+        assert_eq!(
+            &src[e.span.start..e.span.end],
+            "0",
+            "span must pin the stride"
+        );
+    }
+
+    #[test]
+    fn every_stride_beyond_video_rejected() {
+        let e = plan_of("SELECT TOP 5 FRAMES FROM Archie EVERY 99999999 FRAMES EMIT").unwrap_err();
+        assert!(e.message().contains("would never emit"), "{}", e.message());
+    }
+
+    #[test]
+    fn every_incompatible_with_window_targets_and_baseline_engines() {
+        let e = plan_of("SELECT TOP 2 WINDOWS OF 30 FRAMES FROM Archie EVERY 10 FRAMES EMIT")
+            .unwrap_err();
+        assert!(e.message().contains("batch-only"), "{}", e.message());
+        let e =
+            plan_of("SELECT TOP 5 FRAMES FROM Archie USING scan EVERY 10 FRAMES EMIT").unwrap_err();
+        assert!(e.message().contains("cannot stream"), "{}", e.message());
+    }
+
+    #[test]
+    fn stream_options_require_every_clause() {
+        let e = plan_of("SELECT TOP 5 FRAMES FROM Archie WITH WINDOW 500").unwrap_err();
+        assert!(
+            e.message().contains("EVERY <n> FRAMES EMIT"),
+            "{}",
+            e.message()
+        );
+        let e = plan_of("SELECT TOP 5 FRAMES FROM Archie WITH BUDGET 4").unwrap_err();
+        assert!(
+            e.message().contains("EVERY <n> FRAMES EMIT"),
+            "{}",
+            e.message()
+        );
+        let e = plan_of("SELECT TOP 5 FRAMES FROM Archie EVERY 10 FRAMES EMIT WITH WINDOW 0")
+            .unwrap_err();
+        assert!(e.message().contains("at least 1 frame"), "{}", e.message());
+    }
+
+    #[test]
+    fn streaming_k_equal_to_item_count_keeps_everest() {
+        // mid-stream prefixes rank fewer than K frames, so the scan
+        // degrade would break continuous emission
+        let n = source_by_name("Archie").unwrap().scaled_frames(8);
+        let p = plan_of(&format!(
+            "SELECT TOP {n} FRAMES FROM Archie EVERY {n} FRAMES EMIT"
+        ))
+        .unwrap();
+        assert_eq!(p.engine, Engine::Everest);
+    }
 
     // ---- skyline analysis ----
 

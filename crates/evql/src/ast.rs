@@ -8,6 +8,7 @@
 //! select     := SELECT TOP int target FROM source
 //!               [SCORE ident '(' args ')']
 //!               [USING ident]
+//!               [EVERY int FRAMES EMIT]
 //!               [WITH option (',' option)*] [';']
 //! skyline    := SELECT SKYLINE [OF call (',' call)*] FROM source
 //!               [WITH option (',' option)*] [';']
@@ -83,6 +84,9 @@ pub struct SelectStmt {
     pub score: Option<ScoreCall>,
     /// Processing engine; `None` = Everest.
     pub engine: Option<(String, Span)>,
+    /// `EVERY <n> FRAMES EMIT` — continuous emission stride; `None` runs
+    /// the query once over the whole video.
+    pub every: Option<(u64, Span)>,
     /// `WITH` options in source order.
     pub options: Vec<OptionClause>,
 }
@@ -177,6 +181,42 @@ impl SelectStmt {
             .rev()
             .find(|o| o.name.eq_ignore_ascii_case(name))
     }
+
+    /// Canonical source rendering. Parsing the result yields the same
+    /// statement back (modulo spans) — pinned by the parser's round-trip
+    /// test.
+    pub fn display(&self) -> String {
+        let mut out = format!("SELECT TOP {} ", self.k);
+        match self.target {
+            Target::Frames => out.push_str("FRAMES"),
+            Target::Windows { len, slide, .. } => {
+                out.push_str(&format!("WINDOWS OF {len} FRAMES"));
+                if let Some((s, _)) = slide {
+                    out.push_str(&format!(" SLIDE {s}"));
+                }
+            }
+        }
+        out.push_str(&format!(" FROM '{}'", self.source));
+        if let Some(score) = &self.score {
+            let args: Vec<String> = score.args.iter().map(|a| a.display()).collect();
+            out.push_str(&format!(" SCORE {}({})", score.name, args.join(", ")));
+        }
+        if let Some((engine, _)) = &self.engine {
+            out.push_str(&format!(" USING {engine}"));
+        }
+        if let Some((n, _)) = self.every {
+            out.push_str(&format!(" EVERY {n} FRAMES EMIT"));
+        }
+        if !self.options.is_empty() {
+            let opts: Vec<String> = self
+                .options
+                .iter()
+                .map(|o| format!("{} {}", o.name, o.value.display()))
+                .collect();
+            out.push_str(&format!(" WITH {}", opts.join(", ")));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +259,7 @@ mod tests {
             source_span: Span::new(0, 0),
             score: None,
             engine: None,
+            every: None,
             options: vec![mk("seed", 1), mk("SEED", 2)],
         };
         assert_eq!(stmt.option("seed").unwrap().value.as_u64(), Some(2));

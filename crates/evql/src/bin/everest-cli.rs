@@ -122,6 +122,10 @@ fn run_statement(session: &mut Session, stmt: &str) -> bool {
             println!("{}", answer.render());
             true
         }
+        Ok(Output::Stream(answer)) => {
+            println!("{}", answer.render());
+            true
+        }
         Ok(Output::Message(m)) => {
             println!("{m}");
             true
@@ -144,6 +148,9 @@ fn print_help() {
          \n\
          SELECT TOP <k> WINDOWS OF <len> FRAMES [SLIDE <step>] FROM <dataset>\n\
              [WITH SAMPLE <frac>, ...]            -- §3.4 window queries\n\
+         \n\
+         SELECT TOP <k> FRAMES FROM <dataset> EVERY <n> FRAMES EMIT\n\
+             [WITH WINDOW <w>, BUDGET <b>, ...]   -- continuous Top-K\n\
          \n\
          SELECT SKYLINE [OF <f1()>, <f2()>] FROM <dataset>\n\
              [WITH CONFIDENCE <p>, SEED <n>]      -- §5 probabilistic skyline\n\

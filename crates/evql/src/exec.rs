@@ -22,11 +22,14 @@ use crate::plan::{Engine, PlanTarget, QueryPlan};
 use everest_core::baselines::{
     cheap_scan, cmdn_only, scan_and_test, select_and_topk_calibrated, topk_indices, BaselineResult,
 };
-use everest_core::cleaner::CleanerConfig;
+use everest_core::cleaner::{CleanerConfig, CleaningOracle};
+use everest_core::dist::DiscreteDist;
 use everest_core::metrics::{evaluate_topk, GroundTruth, ResultQuality};
 use everest_core::phase1::Phase1Config;
 use everest_core::pipeline::{Everest, PreparedVideo, QueryReport};
+use everest_core::stream::{batch_reference, StreamAnswer, StreamConfig, StreamTopK};
 use everest_core::window::{exact_window_scores, sliding_windows, WindowInfo};
+use everest_core::xtuple::ItemId;
 use everest_models::{ExactScoreOracle, HogScorer, Oracle, TinyYoloScorer};
 use everest_nn::train::TrainConfig;
 use everest_nn::HyperGrid;
@@ -94,8 +97,22 @@ pub enum Output {
     Rows(QueryOutput),
     /// A `SELECT SKYLINE` answer.
     Skyline(SkylineOutput),
+    /// A continuous `SELECT TOP … EVERY n FRAMES EMIT` answer.
+    Stream(StreamOutput),
     /// `SHOW` / `SET` / `EXPLAIN` text.
     Message(String),
+}
+
+/// A continuous query's answer: one [`StreamAnswer`] per emit point.
+#[derive(Debug, Clone)]
+pub struct StreamOutput {
+    /// Per-emit answers in arrival order. Frame ids are x-tuple ids on the
+    /// retained stream; [`StreamOutput::video_frame`] maps them back.
+    pub answers: Vec<StreamAnswer>,
+    /// Retained video-frame number of each arriving x-tuple.
+    pub retained: Vec<usize>,
+    pub stats: ExecStats,
+    pub plan: QueryPlan,
 }
 
 /// One skyline answer row: a Pareto-optimal frame with its score vector.
@@ -208,6 +225,9 @@ impl Session {
         match parse(src)? {
             Statement::Select(stmt) => {
                 let plan = analyze(&stmt, &self.settings)?;
+                if plan.emit_every.is_some() {
+                    return Ok(Output::Stream(self.open_stream(plan)?.finish()?));
+                }
                 Ok(Output::Rows(self.run(plan)?))
             }
             Statement::Skyline(stmt) => {
@@ -564,6 +584,98 @@ impl Session {
         (entry, false)
     }
 
+    /// Opens a continuous query as a [`StreamSession`] that yields one
+    /// answer per emit point. The statement must carry an
+    /// `EVERY <n> FRAMES EMIT` clause.
+    pub fn stream(&mut self, src: &str) -> Result<StreamSession, EvqlError> {
+        match parse(src)? {
+            Statement::Select(stmt) => {
+                let plan = analyze(&stmt, &self.settings)?;
+                if plan.emit_every.is_none() {
+                    return Err(EvqlError::new(
+                        ErrorKind::Incompatible(
+                            "Session::stream needs a continuous statement; \
+                             add EVERY <n> FRAMES EMIT"
+                                .into(),
+                        ),
+                        stmt.k_span,
+                    ));
+                }
+                self.open_stream(plan)
+            }
+            _ => Err(EvqlError::new(
+                ErrorKind::Incompatible(
+                    "Session::stream needs a SELECT TOP … EVERY <n> FRAMES EMIT statement".into(),
+                ),
+                crate::token::Span::point(0),
+            )),
+        }
+    }
+
+    /// Builds the streaming engine for a validated continuous plan.
+    fn open_stream(&mut self, plan: QueryPlan) -> Result<StreamSession, EvqlError> {
+        // lint:allow(det-wallclock): feeds the reported wall_ms stat only;
+        // stream answers never branch on wall time.
+        let started = Instant::now();
+        let (entry, phase1_cached) = self.prepared(&plan);
+        let rel = &entry.prepared.phase1.relation;
+        // The arriving unit is a retained x-tuple: the difference detector
+        // may drop near-duplicate frames, so the emit stride (validated in
+        // video frames) is clamped to the stream length to guarantee the
+        // query emits at least once.
+        // Frames labelled during Phase-1 training enter D0 certain; they
+        // arrive as point masses (the oracle re-confirms them for free in
+        // simulated cost terms only if the cleaner ever picks one).
+        let dists: Vec<DiscreteDist> = (0..rel.len())
+            .map(|id| match rel.dist(id) {
+                Some(d) => d.clone(),
+                None => DiscreteDist::certain(
+                    // lint:allow(panic-unwrap): dist() is None iff the item is certain
+                    rel.certain_bucket(id).expect("no dist means certain") as usize,
+                    rel.max_bucket(),
+                ),
+            })
+            .collect();
+        // lint:allow(panic-unwrap): both callers branch on emit_every.is_some()
+        let stride = plan.emit_every.expect("checked by caller").min(dists.len());
+        let cfg = StreamConfig {
+            k: plan.k,
+            thres: plan.thres,
+            emit_every: stride.max(1),
+            window: plan.stream_window,
+            budget_per_emit: plan.stream_budget,
+            quant_step: rel.step(),
+            max_bucket: rel.max_bucket(),
+            ..StreamConfig::default()
+        };
+        let retained = entry.prepared.phase1.segments.retained().to_vec();
+        let oracle = RetainedOracle {
+            oracle: entry.oracle.clone(),
+            retained: retained.clone(),
+            step: rel.step(),
+            max_bucket: rel.max_bucket(),
+            cleaned: 0,
+        };
+        let n = plan.n_frames;
+        let decode = DecodeCostModel::default();
+        let scan_seconds =
+            n as f64 * entry.oracle.cost_per_frame() + decode.sequential_scan_cost(n);
+        Ok(StreamSession {
+            engine: StreamTopK::new(cfg.clone()),
+            cfg,
+            plan,
+            dists,
+            retained,
+            oracle,
+            fed: 0,
+            answers: Vec::new(),
+            phase1_seconds: entry.prepared.phase1.clock.total(),
+            phase1_cached,
+            scan_seconds,
+            started,
+        })
+    }
+
     /// Executes a validated skyline plan (`everest-core::skyline`).
     ///
     /// Phase 1 runs once per dimension (cached independently, so a later
@@ -723,6 +835,167 @@ impl Session {
     }
 }
 
+/// A [`CleaningOracle`] over the retained stream: x-tuple id → retained
+/// video frame → exact detector score → quantized bucket (the same mapping
+/// `pipeline::query_topk` uses).
+struct RetainedOracle {
+    oracle: ExactScoreOracle,
+    retained: Vec<usize>,
+    step: f64,
+    max_bucket: usize,
+    cleaned: usize,
+}
+
+impl CleaningOracle for RetainedOracle {
+    fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32> {
+        let frames: Vec<usize> = items.iter().map(|&i| self.retained[i]).collect();
+        self.cleaned += frames.len();
+        self.oracle
+            .score_batch(&frames)
+            .into_iter()
+            .map(|s| ((s / self.step).round().max(0.0) as usize).min(self.max_bucket) as u32)
+            .collect()
+    }
+}
+
+/// Opt-in self-check: when this env var is set (and not `0`), every
+/// finished stream is replayed as a from-scratch batch reference and the
+/// two answer sequences are compared emit-by-emit (the
+/// `tests/stream_e2e.rs` equivalence property, enforced at runtime).
+pub const STREAM_VERIFY_ENV: &str = "EVEREST_STREAM_VERIFY";
+
+/// An open continuous query: feed-and-emit until the stream is exhausted.
+///
+/// Yields one [`StreamAnswer`] per emit point via
+/// [`next_emit`](StreamSession::next_emit); [`finish`](StreamSession::finish)
+/// drains the rest and packages the stats. Oracle confirmations persist
+/// across emits, so a frame is never cleaned twice.
+pub struct StreamSession {
+    plan: QueryPlan,
+    cfg: StreamConfig,
+    engine: StreamTopK,
+    dists: Vec<DiscreteDist>,
+    retained: Vec<usize>,
+    oracle: RetainedOracle,
+    fed: usize,
+    answers: Vec<StreamAnswer>,
+    phase1_seconds: f64,
+    phase1_cached: bool,
+    scan_seconds: f64,
+    started: Instant,
+}
+
+impl std::fmt::Debug for StreamSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSession")
+            .field("arrivals", &self.dists.len())
+            .field("fed", &self.fed)
+            .field("emits", &self.answers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamSession {
+    /// The validated plan this stream runs.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Total x-tuples that will arrive (the retained stream length).
+    pub fn n_arrivals(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Retained video-frame number of stream id `id`.
+    pub fn video_frame(&self, id: ItemId) -> usize {
+        self.retained[id]
+    }
+
+    /// Feeds arrivals until the next emit point; `None` when the stream is
+    /// exhausted.
+    pub fn next_emit(&mut self) -> Option<&StreamAnswer> {
+        while self.fed < self.dists.len() {
+            let dist = self.dists[self.fed].clone();
+            self.fed += 1;
+            if let Some(answer) = self.engine.push_frame(dist, &mut self.oracle) {
+                self.answers.push(answer);
+                return self.answers.last();
+            }
+        }
+        None
+    }
+
+    /// Drains the stream and packages every emitted answer with stats.
+    pub fn finish(mut self) -> Result<StreamOutput, EvqlError> {
+        while self.next_emit().is_some() {}
+        if std::env::var(STREAM_VERIFY_ENV).is_ok_and(|v| v != "0") {
+            self.verify_against_batch()?;
+        }
+        let last = self.answers.last();
+        let sim_seconds =
+            self.phase1_seconds + self.oracle.cleaned as f64 * self.oracle.oracle.cost_per_frame();
+        let stats = ExecStats {
+            engine: Engine::Everest,
+            n_frames: self.plan.n_frames,
+            n_items: self.dists.len(),
+            confidence: last.map(|a| a.confidence),
+            converged: last.map(|a| a.converged),
+            iterations: Some(self.answers.len()),
+            cleaned: Some(self.engine.cleaned_total()),
+            sim_seconds,
+            scan_seconds: self.scan_seconds,
+            speedup: self.scan_seconds / sim_seconds.max(f64::MIN_POSITIVE),
+            quality: None,
+            wall: self.started.elapsed(),
+            phase1_cached: self.phase1_cached,
+        };
+        Ok(StreamOutput {
+            answers: self.answers,
+            retained: self.retained,
+            stats,
+            plan: self.plan,
+        })
+    }
+
+    /// The streaming≡batch equivalence check behind [`STREAM_VERIFY_ENV`]:
+    /// replays the whole stream from scratch with per-emit rebuilds and
+    /// demands identical answers at every emit point.
+    fn verify_against_batch(&mut self) -> Result<(), EvqlError> {
+        let mut oracle = RetainedOracle {
+            oracle: self.oracle.oracle.clone(),
+            retained: self.retained.clone(),
+            step: self.cfg.quant_step,
+            max_bucket: self.cfg.max_bucket,
+            cleaned: 0,
+        };
+        let reference = batch_reference(&self.cfg, &self.dists, &mut oracle);
+        let mismatch = |what: String| {
+            EvqlError::new(
+                ErrorKind::Exec(format!(
+                    "{STREAM_VERIFY_ENV}: streaming≡batch violated: {what}"
+                )),
+                crate::token::Span::point(0),
+            )
+        };
+        if reference.len() != self.answers.len() {
+            return Err(mismatch(format!(
+                "{} streaming emits vs {} batch emits",
+                self.answers.len(),
+                reference.len()
+            )));
+        }
+        for (live, batch) in self.answers.iter().zip(&reference) {
+            if live.topk != batch.topk
+                || (live.confidence - batch.confidence).abs() > 1e-9
+                || live.render(self.cfg.quant_step) != batch.render(self.cfg.quant_step)
+            {
+                return Err(mismatch(format!("divergence at emit @{}", live.at_frame)));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The Phase-1 recipe EVQL uses: the paper's protocol (random sample →
 /// CMDN grid → hold-out NLL selection) at interactive scale.
 fn phase1_recipe(quant_step: f64, seed: u64) -> Phase1Config {
@@ -876,6 +1149,58 @@ impl ExecStats {
             out.push_str("\n(phase 1 served from session cache)");
         }
         out.push('\n');
+        out
+    }
+}
+
+impl StreamOutput {
+    /// Retained video-frame number of stream id `id`.
+    pub fn video_frame(&self, id: ItemId) -> usize {
+        self.retained[id]
+    }
+
+    /// ASCII rendering for the CLI: one block per emit point, with stream
+    /// ids mapped back to video frames.
+    pub fn render(&self) -> String {
+        let fps = self.plan.source.fps;
+        let step = self.plan.quant_step;
+        let mut out = format!(
+            "continuous top-{} (emit every {} arrivals, {} emits)\n",
+            self.plan.k,
+            self.plan.emit_every.unwrap_or(0),
+            self.answers.len()
+        );
+        for a in &self.answers {
+            out.push_str(&format!(
+                "{}\nemit @{:<7} window [{}, {})  confidence {:.6}  {}\n",
+                "-".repeat(46),
+                a.at_frame,
+                a.window_start,
+                a.at_frame,
+                a.confidence,
+                if a.converged {
+                    "converged"
+                } else {
+                    "budget-capped"
+                },
+            ));
+            out.push_str("rank  frame      t+ (mm:ss)     score\n");
+            for (i, &(id, bucket)) in a.topk.iter().enumerate() {
+                let frame = self.retained[id];
+                let t = frame as f64 / fps;
+                let mins = (t / 60.0).floor() as u64;
+                let secs = t - mins as f64 * 60.0;
+                out.push_str(&format!(
+                    "{:<5} {:<8} {:>5}:{:05.2}  {:>8.3}\n",
+                    i + 1,
+                    frame,
+                    mins,
+                    secs,
+                    bucket as f64 * step,
+                ));
+            }
+        }
+        out.push_str(&format!("{}\n{}", "-".repeat(46), self.stats.render(fps)));
         out
     }
 }
@@ -1115,6 +1440,79 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_cache_capacity_rejected() {
         Session::new().set_cache_capacity(0);
+    }
+
+    #[test]
+    fn continuous_query_emits_on_schedule() {
+        let mut s = fast_session();
+        let out = match s
+            .execute("SELECT TOP 3 FRAMES FROM Archie EVERY 400 FRAMES EMIT WITH SEED 3")
+            .unwrap()
+        {
+            Output::Stream(o) => o,
+            other => panic!("{other:?}"),
+        };
+        assert!(!out.answers.is_empty(), "stream must emit at least once");
+        let stride = out.answers[0].at_frame;
+        for (i, a) in out.answers.iter().enumerate() {
+            assert_eq!(a.at_frame, (i + 1) * stride, "emits land on the stride");
+            assert!(a.converged, "unbounded budget must converge");
+            assert!(a.confidence >= 0.9);
+            assert!(a.topk.len() <= 3);
+        }
+        // rows are rank-ordered (bucket desc, arrival-id asc) and map to
+        // real video frames
+        let last = out.answers.last().unwrap();
+        for w in last.topk.windows(2) {
+            assert!(w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0));
+        }
+        for &(id, _) in &last.topk {
+            assert!(out.video_frame(id) < out.stats.n_frames);
+        }
+        let text = out.render();
+        assert!(text.contains("continuous top-3"), "{text}");
+        assert!(text.contains("emit @"), "{text}");
+        // streaming reuses the same Phase-1 cache slot as batch queries
+        assert_eq!(s.cached_preparations(), 1);
+    }
+
+    #[test]
+    fn stream_session_yields_per_emit_answers() {
+        let mut s = fast_session();
+        let mut stream = s
+            .stream(
+                "SELECT TOP 2 FRAMES FROM Archie EVERY 300 FRAMES EMIT \
+                 WITH SEED 3, WINDOW 600, BUDGET 10",
+            )
+            .unwrap();
+        let n = stream.n_arrivals();
+        assert!(n > 0);
+        let mut emits = 0usize;
+        let mut last_at = 0usize;
+        while let Some(a) = stream.next_emit() {
+            assert!(a.at_frame > last_at, "emits advance monotonically");
+            assert!(a.cleaned <= 10, "per-emit budget respected");
+            assert_eq!(a.window_start, a.at_frame.saturating_sub(600));
+            last_at = a.at_frame;
+            emits += 1;
+        }
+        assert_eq!(emits, n / 300.min(n).max(1));
+        let out = stream.finish().unwrap();
+        assert_eq!(out.answers.len(), emits);
+        assert_eq!(out.stats.iterations, Some(emits));
+    }
+
+    #[test]
+    fn stream_requires_every_clause() {
+        let mut s = fast_session();
+        let e = s.stream("SELECT TOP 2 FRAMES FROM Archie").unwrap_err();
+        assert!(
+            e.message().contains("EVERY <n> FRAMES EMIT"),
+            "{}",
+            e.message()
+        );
+        let e = s.stream("SHOW DATASETS").unwrap_err();
+        assert!(e.message().contains("SELECT TOP"), "{}", e.message());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! SELECT TOP 10 WINDOWS OF 150 FRAMES FROM Grand-Canal SCORE count(boat)
 //! SELECT TOP 5 WINDOWS OF 60 FRAMES SLIDE 15 FROM Archie
 //! SELECT TOP 50 FRAMES FROM Dashcam-California SCORE tailgating() WITH STEP 0.5
+//! SELECT TOP 5 FRAMES FROM Archie EVERY 100 FRAMES EMIT   -- continuous Top-K
 //! SELECT TOP 20 FRAMES FROM Archie USING noscope          -- §4 baseline
 //! SELECT SKYLINE OF count(car), coverage() FROM Archie    -- §5 future work
 //! EXPLAIN SELECT TOP 5 FRAMES FROM Vlog SCORE sentiment()
@@ -65,7 +66,10 @@ pub mod token;
 
 pub use analyze::{analyze as analyze_select, analyze_skyline, SessionSettings};
 pub use error::EvqlError;
-pub use exec::{AnswerRow, ExecStats, Output, QueryOutput, Session, SkylineOutput, SkylineRow};
+pub use exec::{
+    AnswerRow, ExecStats, Output, QueryOutput, Session, SkylineOutput, SkylineRow, StreamOutput,
+    StreamSession,
+};
 pub use parser::parse;
 pub use plan::{Engine, PlanTarget, QueryPlan, SkylinePlan};
 

@@ -182,6 +182,7 @@ impl Parser {
 
         let mut score = None;
         let mut engine = None;
+        let mut every = None;
         let mut options = Vec::new();
         loop {
             if self.eat_kw("SCORE") {
@@ -194,6 +195,14 @@ impl Parser {
                     return Err(self.duplicate_clause("USING"));
                 }
                 engine = Some(self.expect_ident("an engine name")?);
+            } else if self.eat_kw("EVERY") {
+                if every.is_some() {
+                    return Err(self.duplicate_clause("EVERY"));
+                }
+                let (n, span) = self.expect_int("the emit stride in frames")?;
+                self.expect_kw("FRAMES")?;
+                self.expect_kw("EMIT")?;
+                every = Some((n, span));
             } else if self.eat_kw("WITH") {
                 options.push(self.option_clause()?);
                 while self.peek().is_some_and(|t| t.kind == TokenKind::Comma) {
@@ -212,6 +221,7 @@ impl Parser {
             source_span,
             score,
             engine,
+            every,
             options,
         })
     }
@@ -585,6 +595,120 @@ mod tests {
     fn semicolons_are_optional_and_repeatable() {
         assert!(parse("SELECT TOP 1 FRAMES FROM x;;").is_ok());
         assert!(parse("SHOW DATASETS;").is_ok());
+    }
+
+    // ---- EVERY … EMIT (continuous queries) ----
+
+    #[test]
+    fn every_clause_parses_with_value_and_span() {
+        let src = "SELECT TOP 5 FRAMES FROM Archie EVERY 30 FRAMES EMIT";
+        let s = select(src);
+        let (n, span) = s.every.unwrap();
+        assert_eq!(n, 30);
+        // the span points at the stride literal itself
+        assert_eq!(&src[span.start..span.end], "30");
+    }
+
+    #[test]
+    fn every_clause_order_is_flexible_and_composes() {
+        let s = select(
+            "SELECT TOP 5 FRAMES FROM Archie EVERY 10 FRAMES EMIT \
+             USING everest WITH SEED 1",
+        );
+        assert_eq!(s.every.unwrap().0, 10);
+        assert!(s.engine.is_some());
+        assert_eq!(s.options.len(), 1);
+        let s = select("SELECT TOP 5 FRAMES FROM Archie WITH SEED 1 EVERY 10 FRAMES EMIT");
+        assert_eq!(s.every.unwrap().0, 10);
+    }
+
+    #[test]
+    fn every_zero_stride_parses_for_analyze_to_reject() {
+        // stride validation is semantic (needs the video length), so the
+        // parser accepts 0 and carries the span for analyze's diagnostic
+        let src = "SELECT TOP 5 FRAMES FROM Archie EVERY 0 FRAMES EMIT";
+        let (n, span) = select(src).every.unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(&src[span.start..span.end], "0");
+    }
+
+    #[test]
+    fn every_missing_emit_rejected_with_span() {
+        let src = "SELECT TOP 5 FRAMES FROM Archie EVERY 30 FRAMES";
+        let e = err(src);
+        assert!(e.message().contains("`EMIT`"), "{}", e.message());
+        assert!(matches!(e.kind, ErrorKind::UnexpectedEnd { .. }), "{e:?}");
+        // with trailing input the span lands on the offending token
+        let src = "SELECT TOP 5 FRAMES FROM Archie EVERY 30 FRAMES WITH SEED 1";
+        let e = err(src);
+        assert!(e.message().contains("`EMIT`"), "{}", e.message());
+        assert_eq!(&src[e.span.start..e.span.end], "WITH");
+    }
+
+    #[test]
+    fn every_missing_frames_rejected() {
+        let e = err("SELECT TOP 5 FRAMES FROM Archie EVERY 30 EMIT");
+        assert!(e.message().contains("`FRAMES`"), "{}", e.message());
+    }
+
+    #[test]
+    fn every_stride_must_be_an_integer() {
+        let src = "SELECT TOP 5 FRAMES FROM Archie EVERY fast FRAMES EMIT";
+        let e = err(src);
+        assert!(e.message().contains("emit stride"), "{}", e.message());
+        assert_eq!(&src[e.span.start..e.span.end], "fast");
+    }
+
+    #[test]
+    fn every_in_bad_position_rejected_with_span() {
+        // before the target: the target grammar owns this position
+        let src = "SELECT TOP 5 EVERY 10 FRAMES EMIT FROM Archie";
+        let e = err(src);
+        assert!(
+            e.message().contains("`FRAMES` or `WINDOWS OF"),
+            "{}",
+            e.message()
+        );
+        assert_eq!(&src[e.span.start..e.span.end], "EVERY");
+        // before FROM: the source grammar owns this position
+        let e = err("SELECT TOP 5 FRAMES EVERY 10 FRAMES EMIT FROM Archie");
+        assert!(e.message().contains("`FROM`"), "{}", e.message());
+    }
+
+    #[test]
+    fn duplicate_every_clause_rejected() {
+        let e = err("SELECT TOP 5 FRAMES FROM x EVERY 10 FRAMES EMIT EVERY 20 FRAMES EMIT");
+        assert!(
+            e.message().contains("at most one `EVERY`"),
+            "{}",
+            e.message()
+        );
+    }
+
+    #[test]
+    fn select_display_round_trips() {
+        for src in [
+            "SELECT TOP 5 FRAMES FROM Archie",
+            "SELECT TOP 5 FRAMES FROM Archie EVERY 30 FRAMES EMIT",
+            "SELECT TOP 10 WINDOWS OF 60 FRAMES SLIDE 15 FROM Grand-Canal \
+             SCORE count(boat) USING everest WITH CONFIDENCE 0.95, SEED 7",
+            "SELECT TOP 3 FRAMES FROM Archie EVERY 25 FRAMES EMIT \
+             WITH WINDOW 100, BUDGET 8",
+        ] {
+            let first = select(src);
+            let rendered = first.display();
+            let second = select(&rendered);
+            assert_eq!(
+                rendered,
+                second.display(),
+                "display must be a fixpoint for {src:?}"
+            );
+            assert_eq!(
+                (first.k, first.every.map(|e| e.0)),
+                (second.k, second.every.map(|e| e.0))
+            );
+            assert_eq!(first.source, second.source);
+        }
     }
 
     // ---- skyline ----

@@ -101,6 +101,15 @@ pub struct QueryPlan {
     pub scale_divisor: usize,
     /// Scaled frame count the plan will run over.
     pub n_frames: usize,
+    /// `EVERY <n> FRAMES EMIT`: continuous emission stride in arriving
+    /// frames; `None` runs the query once over the whole video.
+    pub emit_every: Option<usize>,
+    /// Streaming sliding-window length (`WITH WINDOW w`); `None` keeps the
+    /// whole prefix (a landmark query).
+    pub stream_window: Option<usize>,
+    /// Per-emit oracle-cleaning budget (`WITH BUDGET b`); `None` cleans
+    /// until the confidence threshold is met.
+    pub stream_budget: Option<usize>,
 }
 
 impl QueryPlan {
@@ -138,6 +147,16 @@ impl QueryPlan {
             }
         ));
         let mut indent = " └─ ";
+        if let Some(stride) = self.emit_every {
+            out.push_str(&format!(
+                "{indent}StreamEmit(every={stride} frames, window={}, budget={})\n",
+                self.stream_window
+                    .map_or("prefix".into(), |w| w.to_string()),
+                self.stream_budget
+                    .map_or("unbounded".into(), |b| b.to_string()),
+            ));
+            indent = "     └─ ";
+        }
         if let PlanTarget::Windows {
             len,
             slide,
@@ -268,6 +287,9 @@ mod tests {
             resort_period: 10,
             scale_divisor: 8,
             n_frames,
+            emit_every: None,
+            stream_window: None,
+            stream_budget: None,
         }
     }
 
@@ -321,6 +343,27 @@ mod tests {
         assert!(text.contains("[sliding]"), "{text}");
         assert!(text.contains("UncertainScan(dataset=Archie"), "{text}");
         assert!(text.contains("Phase2"), "{text}");
+    }
+
+    #[test]
+    fn explain_streaming_plan_shows_emit_node() {
+        let mut p = plan(PlanTarget::Frames, 5000);
+        p.emit_every = Some(100);
+        p.stream_window = Some(500);
+        p.stream_budget = Some(16);
+        let text = p.explain();
+        assert!(
+            text.contains("StreamEmit(every=100 frames, window=500, budget=16)"),
+            "{text}"
+        );
+        // the stream node sits between TopK and the scan
+        let emit_at = text.find("StreamEmit").unwrap();
+        assert!(text.find("TopK").unwrap() < emit_at, "{text}");
+        assert!(emit_at < text.find("UncertainScan").unwrap(), "{text}");
+        p.stream_window = None;
+        p.stream_budget = None;
+        let text = p.explain();
+        assert!(text.contains("window=prefix, budget=unbounded"), "{text}");
     }
 
     #[test]

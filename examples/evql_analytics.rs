@@ -30,6 +30,9 @@ fn main() {
         "SELECT TOP 3 WINDOWS OF 150 FRAMES FROM Archie WITH SAMPLE 0.2, SEED 42",
         // §4 comparison: the same query on a baseline engine.
         "SELECT TOP 5 FRAMES FROM Archie USING noscope WITH SEED 42",
+        // Live-feed mode: the same Top-K maintained continuously, one
+        // answer per emit point (Phase 1 is cached from the queries above).
+        "SELECT TOP 5 FRAMES FROM Archie EVERY 300 FRAMES EMIT WITH SEED 42, BUDGET 25",
         // §5 future work: Pareto-optimal frames in (count, coverage).
         // Reuses Archie's cached count-dimension Phase 1 from above.
         "SELECT SKYLINE FROM Archie WITH CONFIDENCE 0.8, SEED 42",
@@ -40,6 +43,7 @@ fn main() {
         match session.execute(stmt) {
             Ok(Output::Rows(answer)) => println!("{}", answer.render()),
             Ok(Output::Skyline(answer)) => println!("{}", answer.render()),
+            Ok(Output::Stream(answer)) => println!("{}", answer.render()),
             Ok(Output::Message(m)) => println!("{m}"),
             Err(e) => {
                 eprintln!("{}", e.render(stmt));
