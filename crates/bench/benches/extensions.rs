@@ -297,12 +297,52 @@ fn bench_evql_frontend(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full daemon round-trip: frame encode → TCP → worker pool →
+/// session execute (scan engine over a floor-scaled dataset) → canonical
+/// encode → frame back. Pins the serve path's overhead so a protocol or
+/// pooling regression shows up next to the engine benchmarks.
+fn bench_serve_roundtrip(c: &mut Criterion) {
+    let cfg = everest_serve::ServeConfig {
+        settings: SessionSettings {
+            scale: 1_000,
+            ..SessionSettings::default()
+        },
+        workers: 2,
+        ..everest_serve::ServeConfig::default()
+    };
+    let (handle, join) = everest_serve::Server::spawn(cfg).expect("spawn daemon");
+    let mut client = everest_serve::Client::connect(handle.addr()).expect("connect");
+    // Warm the path once so the first iteration doesn't pay source-build
+    // costs the steady state never sees.
+    client
+        .query("SELECT TOP 3 FRAMES FROM Archie USING scan")
+        .expect("warmup");
+
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("roundtrip_scan", |b| {
+        b.iter(|| {
+            black_box(
+                client
+                    .query(black_box("SELECT TOP 3 FRAMES FROM Archie USING scan"))
+                    .expect("roundtrip"),
+            )
+        })
+    });
+    group.finish();
+
+    drop(client);
+    handle.shutdown();
+    let report = join.join().expect("daemon thread");
+    assert!(report.clean(), "unclean drain: {report:?}");
+}
+
 criterion_group!(
     benches,
     bench_skyline,
     bench_expected_ranks,
     bench_dp_semantics,
     bench_stream,
-    bench_evql_frontend
+    bench_evql_frontend,
+    bench_serve_roundtrip
 );
 criterion_main!(benches);

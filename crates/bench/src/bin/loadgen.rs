@@ -1,0 +1,151 @@
+//! Concurrent-load driver for the `everest-serve` daemon.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--sessions N] [--queries N] [--seed S]
+//!         [--query "EVQL"]...
+//! ```
+//!
+//! With `--addr`, drives an already-running daemon. Without it, spawns an
+//! in-process daemon on an ephemeral port (floor-scaled catalog), drives
+//! that, and drains it afterwards — a one-command load test.
+//!
+//! Everything the run *asks* is a pure function of `--seed`, and the
+//! reported `digest` covers every answer's canonical bytes: two runs with
+//! the same seed against equivalent daemons must print the same digest,
+//! which is exactly what `tests/serve_e2e.rs` asserts. qps/p50/p99 are
+//! wall-clock and excluded from the digest.
+
+use everest_evql::SessionSettings;
+use everest_serve::{run_loadgen, LoadgenConfig, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--sessions N] [--queries N] [--seed S]\n\
+         \u{20}              [--query \"EVQL\"]...\n\
+         \n\
+         \u{20} --addr      daemon to drive; omit to spawn one in-process\n\
+         \u{20} --sessions  concurrent client sessions (default 8)\n\
+         \u{20} --queries   queries per session (default 25)\n\
+         \u{20} --seed      query-sequence seed (default 0)\n\
+         \u{20} --query     EVQL to draw from; repeatable (default: scan mix)"
+    );
+    std::process::exit(2);
+}
+
+struct Args {
+    addr: Option<SocketAddr>,
+    sessions: usize,
+    queries: usize,
+    seed: u64,
+    mix: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        addr: None,
+        sessions: 8,
+        queries: 25,
+        seed: 0,
+        mix: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => match value("--addr").parse() {
+                Ok(a) => parsed.addr = Some(a),
+                Err(_) => usage(),
+            },
+            "--sessions" => match value("--sessions").parse() {
+                Ok(n) if n >= 1 => parsed.sessions = n,
+                _ => usage(),
+            },
+            "--queries" => match value("--queries").parse() {
+                Ok(n) if n >= 1 => parsed.queries = n,
+                _ => usage(),
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(n) => parsed.seed = n,
+                Err(_) => usage(),
+            },
+            "--query" => parsed.mix.push(value("--query")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    parsed
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Spawn an in-process daemon unless pointed at a live one.
+    let spawned = if args.addr.is_none() {
+        let cfg = ServeConfig {
+            settings: SessionSettings {
+                scale: 1_000, // floor-scaled catalog: load-test latencies, not CMDN fits
+                ..SessionSettings::default()
+            },
+            ..ServeConfig::default()
+        };
+        match Server::spawn(cfg) {
+            Ok(pair) => Some(pair),
+            Err(e) => {
+                eprintln!("loadgen: failed to spawn daemon: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let addr = args
+        .addr
+        .unwrap_or_else(|| spawned.as_ref().unwrap().0.addr());
+
+    let mut cfg = LoadgenConfig::new(addr, args.sessions, args.queries, args.seed);
+    if !args.mix.is_empty() {
+        cfg.mix = args.mix;
+    }
+    println!(
+        "loadgen: {} sessions x {} queries against {addr} (seed {})",
+        cfg.sessions, cfg.queries_per_session, cfg.seed
+    );
+    let report = match run_loadgen(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+
+    if let Some((handle, join)) = spawned {
+        handle.shutdown();
+        match join.join() {
+            Ok(shutdown) if shutdown.clean() => {}
+            Ok(shutdown) => {
+                eprintln!("loadgen: daemon drained unclean: {shutdown:?}");
+                return ExitCode::FAILURE;
+            }
+            Err(_) => {
+                eprintln!("loadgen: daemon thread panicked");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if report.errors > 0 {
+        eprintln!("loadgen: {} queries answered with errors", report.errors);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

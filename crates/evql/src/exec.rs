@@ -19,6 +19,7 @@ use crate::catalog::{catalog, ScoreFn, SourceEntry};
 use crate::error::{ErrorKind, EvqlError};
 use crate::parser::parse;
 use crate::plan::{Engine, PlanTarget, QueryPlan};
+use crate::shared::{CacheKey, SharedCache};
 use everest_core::baselines::{
     cheap_scan, cmdn_only, scan_and_test, select_and_topk_calibrated, topk_indices, BaselineResult,
 };
@@ -34,7 +35,6 @@ use everest_models::{ExactScoreOracle, HogScorer, Oracle, TinyYoloScorer};
 use everest_nn::train::TrainConfig;
 use everest_nn::HyperGrid;
 use everest_video::store::DecodeCostModel;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -135,25 +135,14 @@ pub struct SkylineOutput {
     pub plan: crate::plan::SkylinePlan,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct CacheKey {
-    source: String,
-    score: String,
-    scale: usize,
-    seed: u64,
-    /// Quantization step, bit-cast (steps are exact user literals).
-    step_bits: u64,
-}
-
-struct PreparedEntry {
-    prepared: PreparedVideo,
-    oracle: ExactScoreOracle,
-}
-
-/// One cache slot: the prepared video plus its last-use tick (LRU order).
-struct CacheSlot {
-    entry: Arc<PreparedEntry>,
-    last_used: u64,
+/// One cached Phase-1 preparation: the prepared video plus the exact
+/// oracle it was built against. Public so [`crate::shared::SharedCache`]
+/// (and the serve daemon inspecting it) can store real entries.
+pub struct PreparedEntry {
+    /// Phase-1 artifacts for one `(dataset, score, scale, seed, step)`.
+    pub prepared: PreparedVideo,
+    /// The exact-score oracle Phase 2 confirms against.
+    pub oracle: ExactScoreOracle,
 }
 
 /// Default cap on cached Phase-1 preparations. Each entry holds a full
@@ -163,14 +152,14 @@ struct CacheSlot {
 pub const DEFAULT_CACHE_CAPACITY: usize = 8;
 
 /// An EVQL session: settings + LRU-bounded prepared-video cache.
+///
+/// The cache is a [`SharedCache`]: private to this session by default,
+/// but [`Session::with_shared_cache`] lets a pool of sessions (one per
+/// serve-daemon connection) share a single LRU of Phase-1 preparations
+/// with single-flight builds.
 pub struct Session {
     pub settings: SessionSettings,
-    /// BTreeMap (not HashMap) so eviction scans run in key order:
-    /// `last_used` ticks are unique, but deterministic iteration keeps
-    /// the whole session byte-reproducible by construction.
-    cache: BTreeMap<CacheKey, CacheSlot>,
-    cache_capacity: usize,
-    tick: u64,
+    cache: SharedCache,
 }
 
 impl Default for Session {
@@ -185,39 +174,31 @@ impl Session {
     }
 
     pub fn with_settings(settings: SessionSettings) -> Self {
-        Session {
-            settings,
-            cache: BTreeMap::new(),
-            cache_capacity: DEFAULT_CACHE_CAPACITY,
-            tick: 0,
-        }
+        Session::with_shared_cache(settings, SharedCache::with_capacity(DEFAULT_CACHE_CAPACITY))
+    }
+
+    /// A session whose prepared-video cache is shared with other
+    /// sessions (every clone of `cache` sees the same entries).
+    pub fn with_shared_cache(settings: SessionSettings, cache: SharedCache) -> Self {
+        Session { settings, cache }
+    }
+
+    /// A clone of this session's cache handle, for sharing with further
+    /// sessions or for `SHOW CACHES`-style introspection.
+    pub fn shared_cache(&self) -> SharedCache {
+        self.cache.clone()
     }
 
     /// Current cap on cached Phase-1 preparations.
     pub fn cache_capacity(&self) -> usize {
-        self.cache_capacity
+        self.cache.capacity()
     }
 
     /// Re-caps the prepared-video cache (≥ 1), evicting least-recently
-    /// used entries immediately if the new cap is smaller.
+    /// used entries immediately if the new cap is smaller. With a shared
+    /// cache this re-caps every session sharing it.
     pub fn set_cache_capacity(&mut self, capacity: usize) {
-        assert!(capacity >= 1, "cache capacity must be at least 1");
-        self.cache_capacity = capacity;
-        while self.cache.len() > self.cache_capacity {
-            self.evict_lru();
-        }
-    }
-
-    /// Drops the least-recently-used cache entry.
-    fn evict_lru(&mut self) {
-        if let Some(key) = self
-            .cache
-            .iter()
-            .min_by_key(|(_, slot)| slot.last_used)
-            .map(|(k, _)| k.clone())
-        {
-            self.cache.remove(&key);
-        }
+        self.cache.set_capacity(capacity);
     }
 
     /// Parses, analyzes and executes one statement.
@@ -255,7 +236,8 @@ impl Session {
         self.cache.len()
     }
 
-    /// Drops all cached Phase-1 work.
+    /// Drops all cached Phase-1 work (counted as a reload in
+    /// [`crate::shared::CacheStats`]).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
@@ -540,6 +522,8 @@ impl Session {
     }
 
     /// Cache lookup/build keyed by `(dataset, score, scale, seed, step)`.
+    /// Builds are single-flight under a shared cache: concurrent sessions
+    /// racing on the same key block until one of them finishes Phase 1.
     fn prepared_for(
         &mut self,
         source: &SourceEntry,
@@ -555,33 +539,15 @@ impl Session {
             seed,
             step_bits: step.to_bits(),
         };
-        self.tick += 1;
-        if let Some(hit) = self.cache.get_mut(&key) {
-            hit.last_used = self.tick;
-            return (Arc::clone(&hit.entry), true);
-        }
-        // Bound the cache: evict the least-recently-used preparation(s)
-        // *before* building, so peak memory never holds capacity + 1 full
-        // preparations and repeated queries over many distinct videos
-        // can't grow memory without limit.
-        while self.cache.len() >= self.cache_capacity {
-            self.evict_lru();
-        }
-        let built = source.build(score, scale, seed);
-        let cfg = phase1_recipe(step, seed);
-        let prepared = Everest::prepare(built.video.as_ref(), &built.oracle, &cfg);
-        let entry = Arc::new(PreparedEntry {
-            prepared,
-            oracle: built.oracle,
-        });
-        self.cache.insert(
-            key,
-            CacheSlot {
-                entry: Arc::clone(&entry),
-                last_used: self.tick,
-            },
-        );
-        (entry, false)
+        self.cache.get_or_build(&key, || {
+            let built = source.build(score, scale, seed);
+            let cfg = phase1_recipe(step, seed);
+            let prepared = Everest::prepare(built.video.as_ref(), &built.oracle, &cfg);
+            PreparedEntry {
+                prepared,
+                oracle: built.oracle,
+            }
+        })
     }
 
     /// Opens a continuous query as a [`StreamSession`] that yields one

@@ -62,7 +62,9 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
+pub mod shared;
 pub mod token;
+pub mod wire;
 
 pub use analyze::{analyze as analyze_select, analyze_skyline, SessionSettings};
 pub use error::EvqlError;
@@ -72,6 +74,7 @@ pub use exec::{
 };
 pub use parser::parse;
 pub use plan::{Engine, PlanTarget, QueryPlan, SkylinePlan};
+pub use shared::{CacheStats, SharedCache};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,102 @@
+//! The `everest-serve` daemon binary.
+//!
+//! ```text
+//! everest-serve [--addr HOST:PORT] [--workers N] [--scale D]
+//!               [--cache-capacity N] [--seed S] [--warmup "EVQL"]...
+//! ```
+//!
+//! Binds, runs warmup statements to pre-populate the prepared-video
+//! cache, then serves until a `SHUTDOWN` admin command (or the process
+//! is killed). Prints the shutdown report on a graceful exit.
+
+use everest_serve::{ServeConfig, Server};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: everest-serve [--addr HOST:PORT] [--workers N] [--scale D]\n\
+         \u{20}                    [--cache-capacity N] [--seed S] [--warmup \"EVQL\"]...\n\
+         \n\
+         \u{20} --addr            listen address (default 127.0.0.1:5433)\n\
+         \u{20} --workers         worker threads / max concurrent sessions (default 8)\n\
+         \u{20} --scale           catalog scale divisor for all sessions (default 8)\n\
+         \u{20} --cache-capacity  shared prepared-video cache entries (default 8)\n\
+         \u{20} --seed            default dataset build seed (default 0)\n\
+         \u{20} --warmup          EVQL executed at boot; repeatable"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServeConfig {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:5433".into(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n >= 1 => cfg.workers = n,
+                _ => usage(),
+            },
+            "--scale" => match value("--scale").parse() {
+                Ok(n) if n >= 1 => cfg.settings.scale = n,
+                _ => usage(),
+            },
+            "--cache-capacity" => match value("--cache-capacity").parse() {
+                Ok(n) if n >= 1 => cfg.cache_capacity = n,
+                _ => usage(),
+            },
+            "--seed" => match value("--seed").parse() {
+                Ok(n) => cfg.settings.seed = n,
+                Err(_) => usage(),
+            },
+            "--warmup" => cfg.warmup.push(value("--warmup")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    cfg
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let workers = cfg.workers;
+    let warmups = cfg.warmup.len();
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("everest-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "everest-serve listening on {} ({} workers, {} warmup statement(s))",
+        server.local_addr(),
+        workers,
+        warmups,
+    );
+    let report = server.run();
+    println!(
+        "everest-serve: drained — {} accepted / {} answered over {} connection(s){}",
+        report.queries_accepted,
+        report.queries_answered,
+        report.connections,
+        if report.clean() { "" } else { " [UNCLEAN]" },
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

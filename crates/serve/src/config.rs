@@ -1,0 +1,76 @@
+//! Daemon configuration.
+
+use everest_evql::SessionSettings;
+use std::time::Duration;
+
+/// Everything the daemon needs to bind, pool, and serve.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 binds an ephemeral port (tests, benches).
+    pub addr: String,
+    /// Worker threads. Each worker serves one connection at a time
+    /// (pooler "session mode"), so this bounds concurrent sessions;
+    /// further accepted connections wait in the queue.
+    pub workers: usize,
+    /// Accepted-connection queue bound between the accept loop and the
+    /// workers; a full queue backpressures `accept`.
+    pub backlog: usize,
+    /// Cap on the shared prepared-video cache (ready entries).
+    pub cache_capacity: usize,
+    /// Default EVQL settings for every new session (`SET` adjusts a
+    /// single session afterwards).
+    pub settings: SessionSettings,
+    /// Max accepted frame size in bytes (see
+    /// [`everest_evql::wire::max_frame`] for the env override).
+    pub max_frame: u32,
+    /// Read-poll tick: how often an idle connection checks the shutdown
+    /// flag. Short enough that drain latency is invisible, long enough
+    /// to keep idle connections cheap.
+    pub read_poll: Duration,
+    /// Per-write timeout. A client that stops reading while the daemon
+    /// has a response in flight is disconnected once the socket has been
+    /// unwritable this long.
+    pub write_timeout: Duration,
+    /// After shutdown, how long a connection with a *partial* frame may
+    /// keep the daemon waiting for the rest of it before being dropped.
+    /// Complete frames are always served regardless.
+    pub drain_grace: Duration,
+    /// EVQL statements executed once at boot on a warmup session, before
+    /// the listener starts serving — the "load a catalog of prepared
+    /// videos" step (each statement populates the shared cache).
+    pub warmup: Vec<String>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            backlog: 64,
+            cache_capacity: 8,
+            settings: SessionSettings::default(),
+            max_frame: everest_evql::wire::max_frame(),
+            read_poll: Duration::from_millis(20),
+            write_timeout: Duration::from_secs(2),
+            drain_grace: Duration::from_millis(500),
+            warmup: Vec::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config suited to tests: ephemeral port, floor-scaled datasets
+    /// (every catalog video shrinks to its 2 000-frame floor), small
+    /// pool.
+    pub fn test_default() -> Self {
+        let settings = SessionSettings {
+            scale: 1_000,
+            ..SessionSettings::default()
+        };
+        ServeConfig {
+            workers: 4,
+            settings,
+            ..ServeConfig::default()
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Live-session bookkeeping behind `SHOW SESSIONS`.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What a registered session is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Connected, waiting for a frame.
+    Idle,
+    /// Executing a query or admin command.
+    Executing,
+    /// Shutdown requested; the session finishes in-flight work and exits.
+    Draining,
+}
+
+impl SessionState {
+    fn display(self) -> &'static str {
+        match self {
+            SessionState::Idle => "idle",
+            SessionState::Executing => "executing",
+            SessionState::Draining => "draining",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SessionInfo {
+    peer: SocketAddr,
+    state: SessionState,
+    queries: u64,
+}
+
+/// The daemon's table of live sessions: registered on accept, updated as
+/// requests start and finish, removed on close. Iteration is over a
+/// `BTreeMap` keyed by session id, so `SHOW SESSIONS` renders in a
+/// deterministic order.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    next_id: AtomicU64,
+    sessions: Mutex<BTreeMap<u64, SessionInfo>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry; ids start at 1.
+    pub fn new() -> Self {
+        SessionRegistry {
+            next_id: AtomicU64::new(1),
+            sessions: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers a new session and returns its id.
+    pub fn register(&self, peer: SocketAddr) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().unwrap().insert(
+            id,
+            SessionInfo {
+                peer,
+                state: SessionState::Idle,
+                queries: 0,
+            },
+        );
+        id
+    }
+
+    /// Marks `id` as executing one more query.
+    pub fn begin(&self, id: u64) {
+        if let Some(s) = self.sessions.lock().unwrap().get_mut(&id) {
+            s.state = SessionState::Executing;
+            s.queries += 1;
+        }
+    }
+
+    /// Marks `id` idle (or draining, once shutdown has begun).
+    pub fn finish(&self, id: u64, draining: bool) {
+        if let Some(s) = self.sessions.lock().unwrap().get_mut(&id) {
+            s.state = if draining {
+                SessionState::Draining
+            } else {
+                SessionState::Idle
+            };
+        }
+    }
+
+    /// Removes a closed session.
+    pub fn drop_session(&self, id: u64) {
+        self.sessions.lock().unwrap().remove(&id);
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `SHOW SESSIONS` table, one line per session in id order.
+    pub fn render(&self) -> String {
+        let sessions = self.sessions.lock().unwrap();
+        let mut out = format!("{} session(s)\n", sessions.len());
+        out.push_str("id     peer                   state      queries\n");
+        for (id, s) in sessions.iter() {
+            out.push_str(&format!(
+                "{:<6} {:<22} {:<10} {}\n",
+                id,
+                s.peer.to_string(),
+                s.state.display(),
+                s.queries
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    #[test]
+    fn lifecycle_is_reflected_in_render() {
+        let reg = SessionRegistry::new();
+        let a = reg.register(peer(5001));
+        let b = reg.register(peer(5002));
+        assert_eq!((a, b), (1, 2));
+        reg.begin(a);
+        let r = reg.render();
+        assert!(r.starts_with("2 session(s)\n"), "{r}");
+        assert!(r.contains("executing"), "{r}");
+        reg.finish(a, false);
+        reg.begin(b);
+        reg.finish(b, true);
+        let r = reg.render();
+        assert!(r.contains("idle"), "{r}");
+        assert!(r.contains("draining"), "{r}");
+        reg.drop_session(a);
+        reg.drop_session(b);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn updates_to_dropped_sessions_are_ignored() {
+        let reg = SessionRegistry::new();
+        let id = reg.register(peer(5003));
+        reg.drop_session(id);
+        reg.begin(id); // must not panic or resurrect
+        reg.finish(id, false);
+        assert_eq!(reg.len(), 0);
+    }
+}
