@@ -2,34 +2,45 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--sessions N] [--queries N] [--seed S]
-//!         [--query "EVQL"]...
+//!         [--query "EVQL"]... [--flaky-seed S] [--overload]
 //! ```
 //!
 //! With `--addr`, drives an already-running daemon. Without it, spawns an
 //! in-process daemon on an ephemeral port (floor-scaled catalog), drives
 //! that, and drains it afterwards — a one-command load test.
 //!
+//! `--flaky-seed` swaps the mix for Everest-engine queries with seeded
+//! fault injection and tight budgets (`WITH FLAKY`, `WITHIN … ORACLE
+//! CALLS`, `DEADLINE`), exercising retries, breaker trips, and degraded
+//! answers end to end. `--overload` caps the in-process daemon at one
+//! in-flight query and tolerates `Overloaded` responses, demonstrating
+//! admission-control shedding under deliberate oversubscription.
+//!
 //! Everything the run *asks* is a pure function of `--seed`, and the
 //! reported `digest` covers every answer's canonical bytes: two runs with
 //! the same seed against equivalent daemons must print the same digest,
 //! which is exactly what `tests/serve_e2e.rs` asserts. qps/p50/p99 are
-//! wall-clock and excluded from the digest.
+//! wall-clock and excluded from the digest (as is the digest of a
+//! `--overload` run with `shed > 0`: which query gets shed is timing).
 
 use everest_evql::SessionSettings;
-use everest_serve::{run_loadgen, LoadgenConfig, ServeConfig, Server};
+use everest_serve::{flaky_mix, run_loadgen, LoadgenConfig, ServeConfig, Server};
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--sessions N] [--queries N] [--seed S]\n\
-         \u{20}              [--query \"EVQL\"]...\n\
+         \u{20}              [--query \"EVQL\"]... [--flaky-seed S] [--overload]\n\
          \n\
-         \u{20} --addr      daemon to drive; omit to spawn one in-process\n\
-         \u{20} --sessions  concurrent client sessions (default 8)\n\
-         \u{20} --queries   queries per session (default 25)\n\
-         \u{20} --seed      query-sequence seed (default 0)\n\
-         \u{20} --query     EVQL to draw from; repeatable (default: scan mix)"
+         \u{20} --addr        daemon to drive; omit to spawn one in-process\n\
+         \u{20} --sessions    concurrent client sessions (default 8)\n\
+         \u{20} --queries     queries per session (default 25)\n\
+         \u{20} --seed        query-sequence seed (default 0)\n\
+         \u{20} --query       EVQL to draw from; repeatable (default: scan mix)\n\
+         \u{20} --flaky-seed  use the fault-injection mix with this fault seed\n\
+         \u{20} --overload    cap the in-process daemon at 1 in-flight query\n\
+         \u{20}               and tolerate shed (Overloaded) responses"
     );
     std::process::exit(2);
 }
@@ -40,6 +51,8 @@ struct Args {
     queries: usize,
     seed: u64,
     mix: Vec<String>,
+    flaky_seed: Option<u64>,
+    overload: bool,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +62,8 @@ fn parse_args() -> Args {
         queries: 25,
         seed: 0,
         mix: Vec::new(),
+        flaky_seed: None,
+        overload: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -76,6 +91,11 @@ fn parse_args() -> Args {
                 Err(_) => usage(),
             },
             "--query" => parsed.mix.push(value("--query")),
+            "--flaky-seed" => match value("--flaky-seed").parse() {
+                Ok(n) => parsed.flaky_seed = Some(n),
+                Err(_) => usage(),
+            },
+            "--overload" => parsed.overload = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag {other:?}");
@@ -96,6 +116,9 @@ fn main() -> ExitCode {
                 scale: 1_000, // floor-scaled catalog: load-test latencies, not CMDN fits
                 ..SessionSettings::default()
             },
+            // Oversubscription demo: with one admission slot and many
+            // sessions, most concurrent arrivals are shed.
+            max_inflight_queries: if args.overload { Some(1) } else { None },
             ..ServeConfig::default()
         };
         match Server::spawn(cfg) {
@@ -113,8 +136,11 @@ fn main() -> ExitCode {
         .unwrap_or_else(|| spawned.as_ref().unwrap().0.addr());
 
     let mut cfg = LoadgenConfig::new(addr, args.sessions, args.queries, args.seed);
+    if let Some(fault_seed) = args.flaky_seed {
+        cfg.mix = flaky_mix(fault_seed);
+    }
     if !args.mix.is_empty() {
-        cfg.mix = args.mix;
+        cfg.mix = args.mix; // explicit --query wins over --flaky-seed
     }
     println!(
         "loadgen: {} sessions x {} queries against {addr} (seed {})",
@@ -145,6 +171,13 @@ fn main() -> ExitCode {
     }
     if report.errors > 0 {
         eprintln!("loadgen: {} queries answered with errors", report.errors);
+        return ExitCode::FAILURE;
+    }
+    if report.shed > 0 && !args.overload {
+        eprintln!(
+            "loadgen: {} queries shed without --overload (daemon at capacity)",
+            report.shed
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

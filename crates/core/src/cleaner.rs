@@ -9,9 +9,11 @@
 //! oracle. Termination is guaranteed: cleaning strictly shrinks the
 //! uncertain set and a fully-certain relation has confidence 1.
 
+use crate::budget::{QueryBudget, Termination};
 use crate::select::{CandidateSelector, SelectStats};
 use crate::topkprob::{topk_prob, JointCdf};
 use crate::xtuple::{ItemId, UncertainRelation};
+use everest_models::OracleError;
 use std::cmp::Reverse;
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -24,6 +26,22 @@ use std::time::{Duration, Instant};
 pub trait CleaningOracle {
     /// Exact buckets for `items`, in order.
     fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32>;
+
+    /// Fallible cleaning: the default wraps the infallible path and never
+    /// fails. Adapters over a fallible [`everest_models::Oracle`] override
+    /// it so oracle failures surface as [`Termination::OracleDown`]
+    /// instead of panics.
+    fn try_clean_batch(&mut self, items: &[ItemId]) -> Result<Vec<u32>, OracleError> {
+        Ok(self.clean_batch(items))
+    }
+
+    /// Simulated seconds this oracle has consumed so far (scoring cost
+    /// plus fault/backoff overhead). The cleaner's deadline check reads
+    /// this between batches. Default: not accounted (deadlines never
+    /// fire).
+    fn sim_seconds_spent(&self) -> f64 {
+        0.0
+    }
 }
 
 /// A `CleaningOracle` backed by a closure (used by tests and simple setups).
@@ -51,6 +69,11 @@ pub struct CleanerConfig {
     /// bootstrap too, so a capped run may return *fewer than K* items
     /// (with `converged = false`).
     pub max_cleanings: Option<usize>,
+    /// Query-level limits: oracle-call cap, simulated-seconds deadline,
+    /// cooperative cancellation. Checked between cleaning batches; the
+    /// default is unlimited. A call cap here and `max_cleanings` compose
+    /// (the tighter one wins).
+    pub budget: QueryBudget,
 }
 
 impl Default for CleanerConfig {
@@ -61,6 +84,7 @@ impl Default for CleanerConfig {
             batch_size: 8,
             resort_period: 10,
             max_cleanings: None,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -76,9 +100,13 @@ pub struct CleanOutcome {
     pub iterations: usize,
     /// Items cleaned during Phase 2 (excludes items certain on entry).
     pub cleaned: usize,
-    /// Whether the confidence target was met (false only under
-    /// `max_cleanings`).
+    /// Whether the confidence target was met (equivalent to
+    /// `termination == Termination::Converged`).
     pub converged: bool,
+    /// Why the run stopped. Anything but `Converged` marks a *degraded*
+    /// answer: still the exact certain Top-K under the posterior, with
+    /// its honest achieved confidence.
+    pub termination: Termination,
     /// Wall-clock time spent inside `Select-candidate`.
     pub select_time: Duration,
     /// Selector statistics (examined counts, resorts).
@@ -118,38 +146,32 @@ pub fn run_cleaner(
     let mut select_time = Duration::ZERO;
     let max_bucket = rel.max_bucket();
 
-    let mut clean_items =
-        |items: &[ItemId],
-         rel: &mut UncertainRelation,
-         h: &mut JointCdf,
-         certain: &mut BTreeSet<(Reverse<u32>, ItemId)>| {
-            let buckets = oracle.clean_batch(items);
-            for (&id, &b) in items.iter().zip(buckets.iter()) {
-                let old = rel.clean(id, b);
-                h.remove(&old);
-                certain.insert((Reverse(b), id));
+    let term = loop {
+        // Degradation checks run between batches, cheapest first:
+        // cancellation, then the simulated-seconds deadline, then the
+        // oracle-call budget (inside the branches below).
+        if cfg.budget.is_cancelled() {
+            break Termination::Cancelled;
+        }
+        if let Some(deadline) = cfg.budget.deadline_sim_seconds {
+            if oracle.sim_seconds_spent() >= deadline {
+                break Termination::Deadline;
             }
-        };
-
-    loop {
-        // Remaining cleaning budget under `max_cleanings` (None = unlimited).
-        let budget = cfg.max_cleanings.map(|m| m.saturating_sub(cleaned));
+        }
+        // Remaining cleaning budget: the tighter of `max_cleanings` and
+        // the query budget's oracle-call cap (None = unlimited).
+        let budget: Option<usize> = [cfg.max_cleanings, cfg.budget.max_oracle_calls]
+            .into_iter()
+            .flatten()
+            .map(|m| m.saturating_sub(cleaned))
+            .min();
 
         // Bootstrap: the certain-result condition needs ≥ K certain items.
         if certain.len() < cfg.k {
             if budget == Some(0) {
                 // Out of budget before the answer even exists: return the
                 // certain items we have (fewer than K), non-converged.
-                let topk = certain.iter().take(cfg.k).map(|&(_, id)| id).collect();
-                return CleanOutcome {
-                    topk,
-                    confidence: 0.0,
-                    iterations,
-                    cleaned,
-                    converged: false,
-                    select_time,
-                    select_stats: selector.stats,
-                };
+                break Termination::BudgetExhausted;
             }
             let mut by_mean: Vec<ItemId> = rel.uncertain_ids();
             by_mean.sort_by(|&a, &b| {
@@ -163,7 +185,9 @@ pub fn run_cleaner(
                 .min(budget.unwrap_or(usize::MAX));
             assert!(need > 0, "cannot reach K certain items");
             let batch: Vec<ItemId> = by_mean.into_iter().take(need).collect();
-            clean_items(&batch, rel, &mut h, &mut certain);
+            if clean_items(oracle, &batch, rel, &mut h, &mut certain).is_err() {
+                break Termination::OracleDown;
+            }
             cleaned += batch.len();
             iterations += 1;
             continue;
@@ -179,18 +203,11 @@ pub fn run_cleaner(
         };
 
         let confidence = topk_prob(&h, s_k);
-        let done = confidence >= cfg.thres || h.members() == 0 || budget == Some(0);
-        if done {
-            let topk = top.into_iter().map(|(_, id)| id).collect();
-            return CleanOutcome {
-                topk,
-                confidence: if h.members() == 0 { 1.0 } else { confidence },
-                iterations,
-                cleaned,
-                converged: confidence >= cfg.thres || h.members() == 0,
-                select_time,
-                select_stats: selector.stats,
-            };
+        if confidence >= cfg.thres || h.members() == 0 {
+            break Termination::Converged;
+        }
+        if budget == Some(0) {
+            break Termination::BudgetExhausted;
         }
 
         // Select and clean the next batch (clamped to the budget).
@@ -204,10 +221,52 @@ pub fn run_cleaner(
         let batch = selector.select_batch(rel, &h, s_k, s_p, batch_size);
         select_time += started.elapsed();
         debug_assert!(!batch.is_empty());
-        clean_items(&batch, rel, &mut h, &mut certain);
+        if clean_items(oracle, &batch, rel, &mut h, &mut certain).is_err() {
+            break Termination::OracleDown;
+        }
         cleaned += batch.len();
         iterations += 1;
+    };
+
+    // Assemble the (possibly degraded) anytime answer from the current
+    // posterior: the certain Top-K with its honest achieved confidence.
+    let top: Vec<(Reverse<u32>, ItemId)> = certain.iter().take(cfg.k).copied().collect();
+    let confidence = if top.len() < cfg.k {
+        0.0 // aborted mid-bootstrap: no certain-result answer exists yet
+    } else if h.members() == 0 {
+        1.0
+    } else {
+        topk_prob(&h, top[cfg.k - 1].0 .0 as usize)
+    };
+    CleanOutcome {
+        topk: top.into_iter().map(|(_, id)| id).collect(),
+        confidence,
+        iterations,
+        cleaned,
+        converged: term == Termination::Converged,
+        termination: term,
+        select_time,
+        select_stats: selector.stats,
     }
+}
+
+/// Confirms `items` with the oracle and retires their uncertainty. A
+/// failed batch leaves the relation untouched (the oracle scored
+/// nothing), so the caller can return a consistent degraded answer.
+fn clean_items(
+    oracle: &mut dyn CleaningOracle,
+    items: &[ItemId],
+    rel: &mut UncertainRelation,
+    h: &mut JointCdf,
+    certain: &mut BTreeSet<(Reverse<u32>, ItemId)>,
+) -> Result<(), OracleError> {
+    let buckets = oracle.try_clean_batch(items)?;
+    for (&id, &b) in items.iter().zip(buckets.iter()) {
+        let old = rel.clean(id, b);
+        h.remove(&old);
+        certain.insert((Reverse(b), id));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -409,6 +468,274 @@ mod tests {
             high >= low,
             "thres 0.99 cleaned {high} < thres 0.5 cleaned {low}"
         );
+    }
+
+    #[test]
+    fn termination_is_converged_on_normal_runs() {
+        let truth: Vec<u32> = (0..50).map(|i| (i % 7) as u32).collect();
+        let (mut rel, t) = noisy_relation(&truth, 6, 10, 11);
+        let mut oracle = FnCleaningOracle(|id| t[id]);
+        let out = run_cleaner(
+            &mut rel,
+            &mut oracle,
+            &CleanerConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.termination, Termination::Converged);
+        assert!(out.converged);
+        assert!(!out.termination.is_degraded());
+    }
+
+    #[test]
+    fn query_budget_cap_reports_budget_exhausted() {
+        let truth: Vec<u32> = (0..300).map(|i| (i % 11) as u32).collect();
+        let (mut rel, t) = noisy_relation(&truth, 10, 20, 12);
+        let mut oracle = FnCleaningOracle(|id| t[id]);
+        let cfg = CleanerConfig {
+            k: 5,
+            thres: 0.99999,
+            batch_size: 1,
+            budget: QueryBudget {
+                max_oracle_calls: Some(3),
+                ..QueryBudget::unlimited()
+            },
+            ..Default::default()
+        };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        assert_eq!(out.termination, Termination::BudgetExhausted);
+        assert!(!out.converged);
+        assert_eq!(out.cleaned, 3);
+        assert_eq!(out.topk.len(), 5, "20 certain items exist on entry");
+        assert!(out.confidence < 0.99999);
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_cleaning() {
+        let truth: Vec<u32> = (0..100).map(|i| (i % 9) as u32).collect();
+        let (mut rel, t) = noisy_relation(&truth, 8, 10, 13);
+        let mut oracle = FnCleaningOracle(|id| t[id]);
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let cfg = CleanerConfig {
+            k: 4,
+            budget: QueryBudget {
+                cancel: Some(token),
+                ..QueryBudget::unlimited()
+            },
+            ..Default::default()
+        };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        assert_eq!(out.termination, Termination::Cancelled);
+        assert_eq!(out.cleaned, 0);
+        assert!(!out.converged);
+    }
+
+    /// An oracle charging 0.1 simulated seconds per cleaning.
+    struct CostedOracle<'a> {
+        truth: &'a [u32],
+        spent: f64,
+    }
+
+    impl CleaningOracle for CostedOracle<'_> {
+        fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32> {
+            self.spent += items.len() as f64 * 0.1;
+            items.iter().map(|&i| self.truth[i]).collect()
+        }
+
+        fn sim_seconds_spent(&self) -> f64 {
+            self.spent
+        }
+    }
+
+    #[test]
+    fn deadline_is_simulated_seconds_not_wall_clock() {
+        let truth: Vec<u32> = (0..200).map(|i| (i % 13) as u32).collect();
+        let (mut rel, t) = noisy_relation(&truth, 12, 30, 14);
+        let mut oracle = CostedOracle {
+            truth: &t,
+            spent: 0.0,
+        };
+        let cfg = CleanerConfig {
+            k: 5,
+            thres: 0.99999,
+            batch_size: 1,
+            budget: QueryBudget {
+                deadline_sim_seconds: Some(0.35),
+                ..QueryBudget::unlimited()
+            },
+            ..Default::default()
+        };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        if out.termination == Termination::Deadline {
+            // Checked between batches: at most one batch overshoots.
+            assert!(oracle.spent < 0.35 + 0.1 + 1e-9);
+            assert!(!out.converged);
+        } else {
+            assert_eq!(out.termination, Termination::Converged);
+        }
+    }
+
+    /// An oracle that dies after `live` successful batches.
+    struct DyingOracle<'a> {
+        truth: &'a [u32],
+        live: usize,
+    }
+
+    impl CleaningOracle for DyingOracle<'_> {
+        fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32> {
+            items.iter().map(|&i| self.truth[i]).collect()
+        }
+
+        fn try_clean_batch(&mut self, items: &[ItemId]) -> Result<Vec<u32>, OracleError> {
+            if self.live == 0 {
+                return Err(OracleError::Transient("oracle died"));
+            }
+            self.live -= 1;
+            Ok(self.clean_batch(items))
+        }
+    }
+
+    #[test]
+    fn oracle_failure_degrades_to_oracle_down() {
+        let truth: Vec<u32> = (0..200).map(|i| (i % 13) as u32).collect();
+        let (mut rel, t) = noisy_relation(&truth, 12, 30, 15);
+        let mut oracle = DyingOracle { truth: &t, live: 2 };
+        let cfg = CleanerConfig {
+            k: 5,
+            thres: 0.99999,
+            batch_size: 1,
+            ..Default::default()
+        };
+        let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+        assert_eq!(out.termination, Termination::OracleDown);
+        assert!(!out.converged);
+        assert_eq!(out.cleaned, 2);
+        assert_eq!(out.topk.len(), 5);
+        // The degraded answer is still entirely certain.
+        for &id in &out.topk {
+            assert!(rel.is_certain(id));
+        }
+    }
+
+    #[test]
+    fn degraded_confidence_matches_posterior_recomputation() {
+        // The degradation contract: a degraded answer's reported
+        // confidence equals Eq.-1 `topk_confidence` recomputed from the
+        // relation's returned posterior state.
+        use crate::semantics_dp::topk_confidence;
+        let truth: Vec<u32> = (0..150).map(|i| (i * 7 % 13) as u32).collect();
+        for cap in [0usize, 1, 3, 8, 40] {
+            let (mut rel, t) = noisy_relation(&truth, 12, 10, 16);
+            let mut oracle = FnCleaningOracle(|id| t[id]);
+            let cfg = CleanerConfig {
+                k: 6,
+                thres: 0.99999,
+                batch_size: 3,
+                budget: QueryBudget {
+                    max_oracle_calls: Some(cap),
+                    ..QueryBudget::unlimited()
+                },
+                ..Default::default()
+            };
+            let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+            let recomputed = topk_confidence(&rel, &out.topk, 6);
+            assert!(
+                (out.confidence - recomputed).abs() < 1e-9,
+                "cap {cap}: reported {} vs recomputed {recomputed}",
+                out.confidence
+            );
+        }
+    }
+
+    /// A fallible test oracle: fails call `i` whenever the seeded hash
+    /// says so (a deterministic fault schedule), charges 0.05 simulated
+    /// seconds per confirmed item.
+    struct SeededFlakyCleaner<'a> {
+        truth: &'a [u32],
+        seed: u64,
+        calls: u64,
+        spent: f64,
+    }
+
+    impl CleaningOracle for SeededFlakyCleaner<'_> {
+        fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32> {
+            items.iter().map(|&i| self.truth[i]).collect()
+        }
+
+        fn try_clean_batch(&mut self, items: &[ItemId]) -> Result<Vec<u32>, OracleError> {
+            let idx = self.calls;
+            self.calls += 1;
+            let mut z = self
+                .seed
+                .wrapping_add(idx.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z ^= z >> 27;
+            if z % 100 < 15 {
+                return Err(OracleError::Transient("injected"));
+            }
+            self.spent += items.len() as f64 * 0.05;
+            Ok(self.clean_batch(items))
+        }
+
+        fn sim_seconds_spent(&self) -> f64 {
+            self.spent
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// The degradation contract under *random* budgets and fault
+        /// schedules: whatever stopped the run (cap, deadline, a fault),
+        /// the reported confidence equals Eq.-1 `topk_confidence`
+        /// recomputed from the relation's returned posterior, and the
+        /// answer is entirely certain.
+        #[test]
+        fn degraded_answers_honor_the_posterior(
+            cap in 0usize..40,
+            deadline_steps in 0u32..30,
+            fault_seed in 0u64..1_000,
+            data_seed in 0u64..1_000,
+        ) {
+            use crate::semantics_dp::topk_confidence;
+            let truth: Vec<u32> = (0..120)
+                .map(|i: u64| ((i.wrapping_mul(data_seed + 7)) % 13) as u32)
+                .collect();
+            let (mut rel, t) = noisy_relation(&truth, 12, 8, data_seed);
+            let mut oracle = SeededFlakyCleaner {
+                truth: &t,
+                seed: fault_seed,
+                calls: 0,
+                spent: 0.0,
+            };
+            let cfg = CleanerConfig {
+                k: 5,
+                thres: 0.999,
+                batch_size: 2,
+                budget: QueryBudget {
+                    max_oracle_calls: Some(cap),
+                    deadline_sim_seconds: Some(deadline_steps as f64 * 0.05),
+                    ..QueryBudget::unlimited()
+                },
+                ..Default::default()
+            };
+            let out = run_cleaner(&mut rel, &mut oracle, &cfg);
+            for &id in &out.topk {
+                proptest::prop_assert!(rel.is_certain(id));
+            }
+            let recomputed = topk_confidence(&rel, &out.topk, 5);
+            proptest::prop_assert!(
+                (out.confidence - recomputed).abs() < 1e-9,
+                "termination {:?}: reported {} vs recomputed {}",
+                out.termination, out.confidence, recomputed
+            );
+            proptest::prop_assert_eq!(
+                out.converged,
+                out.termination == Termination::Converged
+            );
+        }
     }
 
     #[test]

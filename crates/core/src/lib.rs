@@ -16,6 +16,9 @@
 //!   joint CDF in log space;
 //! * [`select`] — `Select-candidate` (Eq. 4–8) with upper-bound early
 //!   stopping and the lazy ψ re-sort schedule;
+//! * [`budget`] — query budgets, simulated-seconds deadlines, cooperative
+//!   cancellation, and the [`budget::Termination`] status of degraded
+//!   anytime answers;
 //! * [`cleaner`] — the Phase-2 driver: certain-result condition, batched
 //!   oracle cleaning, convergence guarantee;
 //! * [`window`] — Top-K over tumbling windows (Eq. 9 + sampled
@@ -68,6 +71,7 @@
 #![deny(unsafe_code)]
 
 pub mod baselines;
+pub mod budget;
 pub mod cleaner;
 pub mod dist;
 pub mod ingest;
@@ -89,6 +93,7 @@ pub mod xtuple;
 /// The types most programs need.
 pub mod prelude {
     pub use crate::baselines::{scan_and_test, topk_indices, BaselineResult};
+    pub use crate::budget::{CancelToken, QueryBudget, Termination};
     pub use crate::cleaner::{CleanerConfig, CleaningOracle};
     pub use crate::dist::DiscreteDist;
     pub use crate::metrics::{evaluate_topk, GroundTruth, ResultQuality};

@@ -8,6 +8,7 @@
 //! sweep only removes redundant identical work — each query's reported
 //! time still includes the full Phase-1 charge).
 
+use crate::budget::Termination;
 use crate::cleaner::{run_cleaner, CleanerConfig, CleaningOracle};
 use crate::phase1::{run_phase1, Phase1Config, Phase1Output};
 use crate::sim::{component, SimClock};
@@ -64,6 +65,9 @@ pub struct QueryReport {
     pub confidence: f64,
     /// Whether the confidence threshold was met.
     pub converged: bool,
+    /// Why Phase 2 stopped (converged, or a degraded exit: budget,
+    /// deadline, cancellation, oracle failure).
+    pub termination: Termination,
     /// Simulated-time breakdown (Phase 1 + Phase 2), Table 8 style.
     pub clock: SimClock,
     /// Phase-2 iterations (select → clean rounds).
@@ -107,6 +111,24 @@ struct FrameCleaningOracle<'a> {
     max_bucket: usize,
     frames_scored: usize,
     trace: Vec<usize>,
+    /// Oracle overhead (fault penalties, backoff) already accumulated
+    /// when this query started; `sim_seconds_spent` reports the delta.
+    overhead0: f64,
+}
+
+impl FrameCleaningOracle<'_> {
+    fn buckets(&self, scores: &[f64]) -> Vec<u32> {
+        scores
+            .iter()
+            .map(|&s| ((s / self.step).round().max(0.0) as usize).min(self.max_bucket) as u32)
+            .collect()
+    }
+
+    /// Fault/backoff overhead charged by the wrapped oracle during this
+    /// query, in simulated seconds.
+    fn overhead(&self) -> f64 {
+        self.oracle.sim_overhead_seconds() - self.overhead0
+    }
 }
 
 impl CleaningOracle for FrameCleaningOracle<'_> {
@@ -115,10 +137,22 @@ impl CleaningOracle for FrameCleaningOracle<'_> {
         let scores = self.oracle.score_batch(&frames);
         self.frames_scored += frames.len();
         self.trace.extend_from_slice(&frames);
-        scores
-            .iter()
-            .map(|&s| ((s / self.step).round().max(0.0) as usize).min(self.max_bucket) as u32)
-            .collect()
+        self.buckets(&scores)
+    }
+
+    fn try_clean_batch(
+        &mut self,
+        items: &[ItemId],
+    ) -> Result<Vec<u32>, everest_models::OracleError> {
+        let frames: Vec<usize> = items.iter().map(|&i| self.retained[i]).collect();
+        let scores = self.oracle.try_score_batch(&frames)?;
+        self.frames_scored += frames.len();
+        self.trace.extend_from_slice(&frames);
+        Ok(self.buckets(&scores))
+    }
+
+    fn sim_seconds_spent(&self) -> f64 {
+        self.frames_scored as f64 * self.oracle.cost_per_frame() + self.overhead()
     }
 }
 
@@ -155,6 +189,7 @@ impl PreparedVideo {
             max_bucket: relation.max_bucket(),
             frames_scored: 0,
             trace: Vec::new(),
+            overhead0: oracle.sim_overhead_seconds(),
         };
         let cfg = CleanerConfig {
             k,
@@ -168,6 +203,7 @@ impl PreparedVideo {
         clock.charge(
             component::CONFIRM,
             cleaning.frames_scored as f64 * oracle.cost_per_frame()
+                + cleaning.overhead()
                 + decode.trace_cost(&cleaning.trace),
         );
         clock.charge(component::SELECT, outcome.select_time.as_secs_f64());
@@ -189,6 +225,7 @@ impl PreparedVideo {
             items,
             confidence: outcome.confidence,
             converged: outcome.converged,
+            termination: outcome.termination,
             clock,
             iterations: outcome.iterations,
             cleaned: outcome.cleaned,
@@ -295,6 +332,7 @@ impl PreparedVideo {
             items,
             confidence: outcome.confidence,
             converged: outcome.converged,
+            termination: outcome.termination,
             clock,
             iterations: outcome.iterations,
             cleaned: outcome.cleaned,

@@ -36,11 +36,13 @@
 //! that laziness is an *intra-query* optimisation with no stable meaning
 //! across emits.)
 
+use crate::budget::{QueryBudget, Termination};
 use crate::cleaner::CleaningOracle;
 use crate::dist::DiscreteDist;
 use crate::select::psi;
 use crate::topkprob::{topk_prob, JointCdf};
 use crate::xtuple::{ItemId, UncertainRelation};
+use everest_models::OracleError;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -71,6 +73,11 @@ pub struct StreamConfig {
     /// Oracle confirmations allowed per emit; `None` cleans until the
     /// threshold is met (the batch guarantee, amortised over the stream).
     pub budget_per_emit: Option<usize>,
+    /// Stream-wide limits: a total oracle-call cap, a simulated-seconds
+    /// deadline, and/or a cancellation token — all checked between
+    /// confirmations. The per-emit budget composes with these (tighter
+    /// wins). Default is unlimited.
+    pub budget: QueryBudget,
     pub maintenance: Maintenance,
     /// Bucket grid shared by every arriving distribution.
     pub quant_step: f64,
@@ -85,6 +92,7 @@ impl Default for StreamConfig {
             emit_every: 25,
             window: None,
             budget_per_emit: None,
+            budget: QueryBudget::unlimited(),
             maintenance: Maintenance::Incremental,
             quant_step: 1.0,
             max_bucket: 16,
@@ -110,6 +118,9 @@ pub struct StreamAnswer {
     pub confidence: f64,
     /// Whether `p̂ ≥ thres` was reached within this emit's budget.
     pub converged: bool,
+    /// Why this emit stopped cleaning (equals [`Termination::Converged`]
+    /// exactly when `converged`).
+    pub termination: Termination,
     /// Oracle confirmations spent on this emit.
     pub cleaned: usize,
 }
@@ -128,8 +139,10 @@ impl StreamAnswer {
             self.confidence,
             if self.converged {
                 "converged"
-            } else {
+            } else if self.termination == Termination::BudgetExhausted {
                 "budget-capped"
+            } else {
+                self.termination.as_str()
             },
         );
         let _ = writeln!(out, "rank  frame      score  stability");
@@ -279,14 +292,20 @@ impl StreamTopK {
     }
 
     /// Confirms one frame with the oracle and retires its uncertainty.
-    fn clean_one(&mut self, frame: ItemId, oracle: &mut dyn CleaningOracle) {
-        let bucket = oracle.clean_batch(&[frame])[0];
+    /// A failed confirmation leaves the frame uncertain.
+    fn clean_one(
+        &mut self,
+        frame: ItemId,
+        oracle: &mut dyn CleaningOracle,
+    ) -> Result<(), OracleError> {
+        let bucket = oracle.try_clean_batch(&[frame])?[0];
         let was_uncertain = self.uncertain_active.remove(&frame);
         debug_assert!(was_uncertain, "frame {frame} cleaned twice");
         self.h.remove(&self.dists[frame]);
         self.cleaned.insert(frame, bucket);
         self.certain.insert((Reverse(bucket), frame));
         self.cleaned_total += 1;
+        Ok(())
     }
 
     /// The uncertain frame maximising `key`, ties by ascending frame id.
@@ -313,19 +332,41 @@ impl StreamTopK {
         let mut budget = self.cfg.budget_per_emit;
         let mut spent = 0usize;
 
-        let take = |budget: &mut Option<usize>| match budget {
-            Some(0) => false,
-            Some(b) => {
-                *b -= 1;
-                true
+        let cancel = self.cfg.budget.cancel.clone();
+        let deadline = self.cfg.budget.deadline_sim_seconds;
+        let stream_cap = self.cfg.budget.max_oracle_calls;
+        // Checked before every confirmation: cancellation, the stream-wide
+        // deadline/call cap, then the per-emit budget (which this consumes).
+        // `None` means the next confirmation may proceed.
+        let gate = |cleaned_total: usize,
+                    sim_spent: f64,
+                    budget: &mut Option<usize>|
+         -> Option<Termination> {
+            if cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+                return Some(Termination::Cancelled);
             }
-            None => true,
+            if deadline.is_some_and(|d| sim_spent >= d) {
+                return Some(Termination::Deadline);
+            }
+            if stream_cap.is_some_and(|m| cleaned_total >= m) {
+                return Some(Termination::BudgetExhausted);
+            }
+            match budget {
+                Some(0) => Some(Termination::BudgetExhausted),
+                Some(b) => {
+                    *b -= 1;
+                    None
+                }
+                None => None,
+            }
         };
+        let mut blocked: Option<Termination> = None;
 
         // Bootstrap: the certain-result condition needs k_eff certain
         // frames; confirm the highest-mean uncertain frames first.
         while self.certain.len() < k_eff {
-            if !take(&mut budget) {
+            if let Some(t) = gate(self.cleaned_total, oracle.sim_seconds_spent(), &mut budget) {
+                blocked = Some(t);
                 break;
             }
             let pick = self
@@ -333,13 +374,17 @@ impl StreamTopK {
                 // lint:allow(panic-unwrap): certain.len() < k_eff ≤ active count, so an
                 // active uncertain frame exists
                 .expect("fewer certain frames than active frames");
-            self.clean_one(pick, oracle);
+            if self.clean_one(pick, oracle).is_err() {
+                blocked = Some(Termination::OracleDown);
+                break;
+            }
             spent += 1;
         }
 
-        let (confidence, converged) = loop {
+        let (confidence, termination) = loop {
             if self.certain.len() < k_eff {
-                break (0.0, false); // budget exhausted mid-bootstrap
+                // budget/deadline/cancel/failure mid-bootstrap
+                break (0.0, blocked.unwrap_or(Termination::BudgetExhausted));
             }
             let top_last: Vec<(Reverse<u32>, ItemId)> =
                 self.certain.iter().take(k_eff).copied().collect();
@@ -350,22 +395,25 @@ impl StreamTopK {
                 self.cfg.max_bucket
             };
             if self.h.members() == 0 {
-                break (1.0, true);
+                break (1.0, Termination::Converged);
             }
             let conf = topk_prob(&self.h, s_k);
             if conf >= self.cfg.thres {
-                break (conf, true);
+                break (conf, Termination::Converged);
             }
-            if !take(&mut budget) {
-                break (conf, false);
+            if let Some(t) = gate(self.cleaned_total, oracle.sim_seconds_spent(), &mut budget) {
+                break (conf, t);
             }
             let pick = self
                 .argmax_uncertain(|d| psi(d, s_k, s_p))
                 // lint:allow(panic-unwrap): the h.members() == 0 branch above broke out
                 .expect("members > 0 implies an uncertain frame");
-            self.clean_one(pick, oracle);
+            if self.clean_one(pick, oracle).is_err() {
+                break (conf, Termination::OracleDown);
+            }
             spent += 1;
         };
+        let converged = termination == Termination::Converged;
 
         let topk: Vec<(ItemId, u32)> = self
             .certain
@@ -384,6 +432,7 @@ impl StreamTopK {
             stability,
             confidence,
             converged,
+            termination,
             cleaned: spent,
         }
     }
@@ -579,6 +628,153 @@ mod tests {
             assert!(a.cleaned <= 4);
             if !a.converged {
                 assert!(a.confidence < 0.99);
+            }
+        }
+    }
+
+    /// Like [`fixture`], but with bucket headroom above the truth range so
+    /// `s_k < max_bucket` and convergence genuinely needs cleaning (a top
+    /// bucket of exactly `max_bucket` makes Eq. 2 trivially 1.0).
+    fn slack_fixture(n: usize, seed: u64) -> (Vec<u32>, Vec<DiscreteDist>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth: Vec<u32> = (0..n).map(|_| rng.gen_range(0..=10)).collect();
+        let dists = noisy_dists(&truth, 16, seed ^ 0xABCD);
+        (truth, dists)
+    }
+
+    /// A truth oracle that charges simulated seconds per confirmation and
+    /// can be wired to die after a set number of calls.
+    struct ChaosStreamOracle<'a> {
+        truth: &'a [u32],
+        cleans: usize,
+        cost: f64,
+        die_after: Option<usize>,
+    }
+
+    impl CleaningOracle for ChaosStreamOracle<'_> {
+        fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32> {
+            self.cleans += items.len();
+            items.iter().map(|&i| self.truth[i]).collect()
+        }
+
+        fn try_clean_batch(&mut self, items: &[ItemId]) -> Result<Vec<u32>, OracleError> {
+            if self.die_after.is_some_and(|n| self.cleans >= n) {
+                return Err(OracleError::Transient("oracle host down"));
+            }
+            Ok(self.clean_batch(items))
+        }
+
+        fn sim_seconds_spent(&self) -> f64 {
+            self.cleans as f64 * self.cost
+        }
+    }
+
+    #[test]
+    fn stream_wide_call_cap_reports_budget_exhausted() {
+        let (truth, dists) = slack_fixture(80, 11);
+        let mut oracle = ChaosStreamOracle {
+            truth: &truth,
+            cleans: 0,
+            cost: 0.0,
+            die_after: None,
+        };
+        let cfg = StreamConfig {
+            k: 3,
+            thres: 0.99,
+            emit_every: 20,
+            budget: QueryBudget {
+                max_oracle_calls: Some(5),
+                ..QueryBudget::unlimited()
+            },
+            max_bucket: 16,
+            ..StreamConfig::default()
+        };
+        let answers = run_stream(&cfg, &dists, &mut oracle);
+        let total: usize = answers.iter().map(|a| a.cleaned).sum();
+        assert!(total <= 5, "stream-wide cap exceeded: {total}");
+        let last = answers.last().unwrap();
+        assert_eq!(last.termination, Termination::BudgetExhausted);
+        assert!(!last.converged);
+        for a in &answers {
+            assert_eq!(a.converged, a.termination == Termination::Converged);
+        }
+    }
+
+    #[test]
+    fn stream_deadline_is_simulated_seconds() {
+        let (truth, dists) = slack_fixture(80, 12);
+        let mut oracle = ChaosStreamOracle {
+            truth: &truth,
+            cleans: 0,
+            cost: 0.1,
+            die_after: None,
+        };
+        let cfg = StreamConfig {
+            k: 3,
+            thres: 0.99,
+            emit_every: 20,
+            budget: QueryBudget {
+                deadline_sim_seconds: Some(0.25),
+                ..QueryBudget::unlimited()
+            },
+            max_bucket: 16,
+            ..StreamConfig::default()
+        };
+        let answers = run_stream(&cfg, &dists, &mut oracle);
+        // Checked between confirmations: at most one overshoot past 0.25s.
+        assert!(oracle.sim_seconds_spent() <= 0.25 + 0.1 + 1e-12);
+        assert!(answers
+            .iter()
+            .any(|a| a.termination == Termination::Deadline));
+    }
+
+    #[test]
+    fn cancelled_stream_emits_degraded_answers() {
+        let (truth, dists) = fixture(40, 13);
+        let mut oracle = FnCleaningOracle(|id| truth[id]);
+        let token = crate::budget::CancelToken::new();
+        token.cancel();
+        let cfg = StreamConfig {
+            k: 3,
+            emit_every: 20,
+            budget: QueryBudget {
+                cancel: Some(token),
+                ..QueryBudget::unlimited()
+            },
+            max_bucket: 10,
+            ..StreamConfig::default()
+        };
+        for a in run_stream(&cfg, &dists, &mut oracle) {
+            assert_eq!(a.termination, Termination::Cancelled);
+            assert_eq!(a.cleaned, 0);
+            assert!(!a.converged);
+        }
+    }
+
+    #[test]
+    fn oracle_down_mid_stream_degrades() {
+        let (truth, dists) = slack_fixture(80, 14);
+        let mut oracle = ChaosStreamOracle {
+            truth: &truth,
+            cleans: 0,
+            cost: 0.0,
+            die_after: Some(4),
+        };
+        let cfg = StreamConfig {
+            k: 3,
+            thres: 0.99,
+            emit_every: 20,
+            max_bucket: 16,
+            ..StreamConfig::default()
+        };
+        let answers = run_stream(&cfg, &dists, &mut oracle);
+        assert!(answers
+            .iter()
+            .any(|a| a.termination == Termination::OracleDown));
+        // Confirmed rows stay honest even under failure.
+        for a in &answers {
+            for &(f, b) in &a.topk {
+                assert_eq!(b, truth[f]);
             }
         }
     }

@@ -174,6 +174,8 @@ pub struct WindowCleaningOracle<'a> {
     rng: StdRng,
     /// Total frames sent to the deep oracle (cost accounting).
     pub frames_scored: usize,
+    /// Oracle overhead already accumulated when this query started.
+    overhead0: f64,
 }
 
 impl<'a> WindowCleaningOracle<'a> {
@@ -194,7 +196,23 @@ impl<'a> WindowCleaningOracle<'a> {
             max_bucket,
             rng: StdRng::seed_from_u64(seed),
             frames_scored: 0,
+            overhead0: oracle.sim_overhead_seconds(),
         }
+    }
+
+    /// The sampled frames for confirming window `wid` (advances the RNG).
+    fn sample_frames(&mut self, wid: ItemId) -> Vec<usize> {
+        let w = self.windows[wid];
+        let m = ((w.len() as f64 * self.sample_frac).ceil() as usize).clamp(1, w.len());
+        let mut frames: Vec<usize> = (w.start..w.end).collect();
+        frames.shuffle(&mut self.rng);
+        frames.truncate(m);
+        frames
+    }
+
+    fn mean_bucket(&self, scores: &[f64]) -> u32 {
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        ((mean / self.step).round().max(0.0) as usize).min(self.max_bucket) as u32
     }
 }
 
@@ -203,17 +221,36 @@ impl CleaningOracle for WindowCleaningOracle<'_> {
         items
             .iter()
             .map(|&wid| {
-                let w = self.windows[wid];
-                let m = ((w.len() as f64 * self.sample_frac).ceil() as usize).clamp(1, w.len());
-                let mut frames: Vec<usize> = (w.start..w.end).collect();
-                frames.shuffle(&mut self.rng);
-                frames.truncate(m);
+                let frames = self.sample_frames(wid);
                 let scores = self.oracle.score_batch(&frames);
                 self.frames_scored += frames.len();
-                let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-                ((mean / self.step).round().max(0.0) as usize).min(self.max_bucket) as u32
+                self.mean_bucket(&scores)
             })
             .collect()
+    }
+
+    fn try_clean_batch(
+        &mut self,
+        items: &[ItemId],
+    ) -> Result<Vec<u32>, everest_models::OracleError> {
+        // A mid-batch failure discards the whole batch's confirmations:
+        // frames scored before the failure are still charged (the work
+        // happened), and the RNG has advanced — both deterministic given
+        // the fault schedule.
+        items
+            .iter()
+            .map(|&wid| {
+                let frames = self.sample_frames(wid);
+                let scores = self.oracle.try_score_batch(&frames)?;
+                self.frames_scored += frames.len();
+                Ok(self.mean_bucket(&scores))
+            })
+            .collect()
+    }
+
+    fn sim_seconds_spent(&self) -> f64 {
+        self.frames_scored as f64 * self.oracle.cost_per_frame()
+            + (self.oracle.sim_overhead_seconds() - self.overhead0)
     }
 }
 

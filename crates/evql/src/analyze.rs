@@ -123,7 +123,7 @@ impl SessionSettings {
 }
 
 /// The option names a `WITH` clause accepts.
-const OPTION_NAMES: [&str; 8] = [
+const OPTION_NAMES: [&str; 10] = [
     "confidence",
     "sample",
     "step",
@@ -132,6 +132,8 @@ const OPTION_NAMES: [&str; 8] = [
     "resort",
     "window",
     "budget",
+    "deadline",
+    "flaky",
 ];
 
 /// Analyzes a `SELECT` statement into an executable plan.
@@ -183,6 +185,8 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
     let mut resort = session.resort;
     let mut stream_window: Option<(usize, Span)> = None;
     let mut stream_budget: Option<(usize, Span)> = None;
+    let mut deadline: Option<(f64, Span)> = None;
+    let mut flaky_seed: Option<(u64, Span)> = None;
     for opt in &stmt.options {
         let lname = opt.name.to_ascii_lowercase();
         let bad = |detail: &str| {
@@ -254,6 +258,21 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
                     .ok_or_else(|| bad("expected a per-emit cleaning budget ≥ 0"))?
                     as usize;
                 stream_budget = Some((b, opt.name_span));
+            }
+            "deadline" => {
+                let d = opt
+                    .value
+                    .as_f64()
+                    .filter(|v| *v > 0.0 && v.is_finite())
+                    .ok_or_else(|| bad("expected a positive deadline in simulated seconds"))?;
+                deadline = Some((d, opt.name_span));
+            }
+            "flaky" => {
+                let s = opt
+                    .value
+                    .as_u64()
+                    .ok_or_else(|| bad("expected an integer fault-injection seed"))?;
+                flaky_seed = Some((s, opt.name_span));
             }
             other => {
                 return Err(EvqlError::new(
@@ -397,6 +416,28 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
         }
     }
 
+    // -- budget knobs (WITHIN … ORACLE CALLS, WITH DEADLINE/FLAKY) --
+    // They shape Phase-2 cleaning, so only the Everest engine honors
+    // them; silently ignoring a budget on a baseline engine would be
+    // worse than rejecting it.
+    if engine != Engine::Everest {
+        let knob = stmt
+            .within
+            .map(|(_, s)| ("WITHIN … ORACLE CALLS", s))
+            .or(deadline.map(|(_, s)| ("option `deadline`", s)))
+            .or(flaky_seed.map(|(_, s)| ("option `flaky`", s)));
+        if let Some((what, span)) = knob {
+            return Err(EvqlError::new(
+                ErrorKind::Incompatible(format!(
+                    "{what} bounds Phase-2 oracle cleaning; engine `{}` has no \
+                     cleaning phase (use the `everest` engine)",
+                    engine.display()
+                )),
+                span,
+            ));
+        }
+    }
+
     // -- K --
     if stmt.k == 0 {
         return Err(EvqlError::new(
@@ -423,6 +464,9 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
         emit_every: stmt.every.map(|(n, _)| n as usize),
         stream_window: stream_window.map(|(w, _)| w),
         stream_budget: stream_budget.map(|(b, _)| b),
+        max_oracle_calls: stmt.within.map(|(n, _)| n as usize),
+        deadline: deadline.map(|(d, _)| d),
+        flaky_seed: flaky_seed.map(|(s, _)| s),
     };
     let n_items = plan.n_items();
     if plan.k > n_items {
@@ -447,7 +491,15 @@ pub fn analyze(stmt: &SelectStmt, session: &SessionSettings) -> Result<QueryPlan
     // per answer; a K of the full item count degenerates to scan-and-test.
     // Continuous queries are exempt — mid-stream prefixes still rank fewer
     // than K frames, and streaming requires the Everest engine anyway.
-    if plan.k == n_items && plan.engine == Engine::Everest && plan.emit_every.is_none() {
+    // Budgeted queries are exempt too: a scan would ignore the caps the
+    // user asked for, while budgeted cleaning still terminates.
+    if plan.k == n_items
+        && plan.engine == Engine::Everest
+        && plan.emit_every.is_none()
+        && plan.max_oracle_calls.is_none()
+        && plan.deadline.is_none()
+        && plan.flaky_seed.is_none()
+    {
         plan.engine = Engine::Scan;
     }
     Ok(plan)
@@ -935,6 +987,56 @@ mod tests {
         let n = source_by_name("Archie").unwrap().scaled_frames(8);
         let p = plan_of(&format!(
             "SELECT TOP {n} FRAMES FROM Archie EVERY {n} FRAMES EMIT"
+        ))
+        .unwrap();
+        assert_eq!(p.engine, Engine::Everest);
+    }
+
+    // ---- WITHIN / DEADLINE / FLAKY (budgeted, fault-injected queries) ----
+
+    #[test]
+    fn budget_knobs_resolve_into_the_plan() {
+        let p = plan_of(
+            "SELECT TOP 5 FRAMES FROM Archie WITHIN 200 ORACLE CALLS \
+             WITH DEADLINE 2.5, FLAKY 7",
+        )
+        .unwrap();
+        assert_eq!(p.max_oracle_calls, Some(200));
+        assert_eq!(p.deadline, Some(2.5));
+        assert_eq!(p.flaky_seed, Some(7));
+        let p = plan_of("SELECT TOP 5 FRAMES FROM Archie").unwrap();
+        assert_eq!(
+            (p.max_oracle_calls, p.deadline, p.flaky_seed),
+            (None, None, None)
+        );
+    }
+
+    #[test]
+    fn deadline_must_be_positive_and_finite() {
+        for bad in ["0", "0.0", "car"] {
+            let q = format!("SELECT TOP 5 FRAMES FROM Archie WITH DEADLINE {bad}");
+            assert!(plan_of(&q).is_err(), "DEADLINE {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn budget_knobs_require_the_everest_engine() {
+        let e = plan_of("SELECT TOP 5 FRAMES FROM Archie USING scan WITHIN 10 ORACLE CALLS")
+            .unwrap_err();
+        assert!(e.message().contains("no cleaning phase"), "{}", e.message());
+        let e =
+            plan_of("SELECT TOP 5 FRAMES FROM Archie USING scan WITH DEADLINE 1.0").unwrap_err();
+        assert!(e.message().contains("no cleaning phase"), "{}", e.message());
+        let e = plan_of("SELECT TOP 5 FRAMES FROM Archie USING noscope WITH FLAKY 3").unwrap_err();
+        assert!(e.message().contains("no cleaning phase"), "{}", e.message());
+    }
+
+    #[test]
+    fn budgeted_k_equal_to_item_count_keeps_everest() {
+        // the scan degrade would silently drop the user's cap
+        let n = source_by_name("Archie").unwrap().scaled_frames(8);
+        let p = plan_of(&format!(
+            "SELECT TOP {n} FRAMES FROM Archie WITHIN 10 ORACLE CALLS"
         ))
         .unwrap();
         assert_eq!(p.engine, Engine::Everest);

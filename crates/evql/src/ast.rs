@@ -9,6 +9,7 @@
 //!               [SCORE ident '(' args ')']
 //!               [USING ident]
 //!               [EVERY int FRAMES EMIT]
+//!               [WITHIN int ORACLE CALLS]
 //!               [WITH option (',' option)*] [';']
 //! skyline    := SELECT SKYLINE [OF call (',' call)*] FROM source
 //!               [WITH option (',' option)*] [';']
@@ -87,6 +88,9 @@ pub struct SelectStmt {
     /// `EVERY <n> FRAMES EMIT` — continuous emission stride; `None` runs
     /// the query once over the whole video.
     pub every: Option<(u64, Span)>,
+    /// `WITHIN <n> ORACLE CALLS` — hard cap on Phase-2 oracle calls;
+    /// exceeding it yields a degraded (anytime) answer.
+    pub within: Option<(u64, Span)>,
     /// `WITH` options in source order.
     pub options: Vec<OptionClause>,
 }
@@ -207,6 +211,9 @@ impl SelectStmt {
         if let Some((n, _)) = self.every {
             out.push_str(&format!(" EVERY {n} FRAMES EMIT"));
         }
+        if let Some((n, _)) = self.within {
+            out.push_str(&format!(" WITHIN {n} ORACLE CALLS"));
+        }
         if !self.options.is_empty() {
             let opts: Vec<String> = self
                 .options
@@ -260,6 +267,7 @@ mod tests {
             score: None,
             engine: None,
             every: None,
+            within: None,
             options: vec![mk("seed", 1), mk("SEED", 2)],
         };
         assert_eq!(stmt.option("seed").unwrap().value.as_u64(), Some(2));

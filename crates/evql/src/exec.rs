@@ -23,6 +23,7 @@ use crate::shared::{CacheKey, SharedCache};
 use everest_core::baselines::{
     cheap_scan, cmdn_only, scan_and_test, select_and_topk_calibrated, topk_indices, BaselineResult,
 };
+use everest_core::budget::{CancelToken, QueryBudget, Termination};
 use everest_core::cleaner::{CleanerConfig, CleaningOracle};
 use everest_core::dist::DiscreteDist;
 use everest_core::metrics::{evaluate_topk, GroundTruth, ResultQuality};
@@ -31,7 +32,9 @@ use everest_core::pipeline::{Everest, PreparedVideo, QueryReport};
 use everest_core::stream::{batch_reference, StreamAnswer, StreamConfig, StreamTopK};
 use everest_core::window::{exact_window_scores, sliding_windows, WindowInfo};
 use everest_core::xtuple::ItemId;
-use everest_models::{ExactScoreOracle, HogScorer, Oracle, TinyYoloScorer};
+use everest_models::{
+    ExactScoreOracle, FlakyOracle, HogScorer, Oracle, OracleError, RetryingOracle, TinyYoloScorer,
+};
 use everest_nn::train::TrainConfig;
 use everest_nn::HyperGrid;
 use everest_video::store::DecodeCostModel;
@@ -64,8 +67,18 @@ pub struct ExecStats {
     /// `Pr(R̂ = R)` at termination (Everest engine only).
     pub confidence: Option<f64>,
     pub converged: Option<bool>,
+    /// Why Phase-2 cleaning stopped (Everest engine only): converged, or
+    /// a degraded exit (budget, deadline, cancellation, oracle failure).
+    /// Part of the canonical answer — deterministic given the fault
+    /// schedule.
+    pub termination: Option<Termination>,
     pub iterations: Option<usize>,
     pub cleaned: Option<usize>,
+    /// Oracle retries performed under `WITH FLAKY` fault injection
+    /// (None without fault injection). Not part of the canonical answer.
+    pub oracle_retries: Option<u64>,
+    /// Circuit-breaker trips under `WITH FLAKY` fault injection.
+    pub breaker_trips: Option<u64>,
     /// Simulated end-to-end latency, seconds.
     pub sim_seconds: f64,
     /// Simulated scan-and-test latency (the speedup denominator′s
@@ -160,6 +173,9 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 8;
 pub struct Session {
     pub settings: SessionSettings,
     cache: SharedCache,
+    /// Cooperative cancellation checked between cleaning batches of every
+    /// query this session runs (see [`Session::set_cancel_token`]).
+    cancel: Option<CancelToken>,
 }
 
 impl Default for Session {
@@ -180,7 +196,20 @@ impl Session {
     /// A session whose prepared-video cache is shared with other
     /// sessions (every clone of `cache` sees the same entries).
     pub fn with_shared_cache(settings: SessionSettings, cache: SharedCache) -> Self {
-        Session { settings, cache }
+        Session {
+            settings,
+            cache,
+            cancel: None,
+        }
+    }
+
+    /// Installs (or clears) a cooperative cancel token. Every subsequent
+    /// query checks it between cleaning batches: a fired token stops
+    /// Phase 2 at the next batch boundary and the query returns a
+    /// degraded answer with [`Termination::Cancelled`]. The serve daemon
+    /// installs one per query so a client disconnect aborts the work.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// A clone of this session's cache handle, for sharing with further
@@ -342,27 +371,46 @@ impl Session {
         let decode = DecodeCostModel::default();
         let scan_seconds = n as f64 * oracle.cost_per_frame() + decode.sequential_scan_cost(n);
 
+        // WITH FLAKY <seed>: seeded fault injection + deterministic
+        // retry/backoff around the exact oracle. A fresh wrapper per
+        // query means replaying the same statement replays the same
+        // fault schedule bit-for-bit.
+        let flaky = plan
+            .flaky_seed
+            .map(|seed| RetryingOracle::new(FlakyOracle::new(oracle.clone(), seed)));
+        let query_oracle: &dyn Oracle = match &flaky {
+            Some(f) => f,
+            None => oracle,
+        };
+
         let cleaner = CleanerConfig {
             k: plan.k,
             thres: plan.thres,
             batch_size: plan.batch,
             resort_period: plan.resort_period,
             max_cleanings: None,
+            budget: QueryBudget {
+                max_oracle_calls: plan.max_oracle_calls,
+                deadline_sim_seconds: plan.deadline,
+                cancel: self.cancel.clone(),
+            },
         };
 
-        let (rows, confidence, converged, iterations, cleaned, sim_seconds, quality) =
+        let (rows, confidence, converged, termination, iterations, cleaned, sim_seconds, quality) =
             match (plan.engine, plan.target) {
                 (Engine::Everest, PlanTarget::Frames) => {
-                    let report = entry
-                        .as_ref()
-                        .expect("phase-1 engine")
-                        .prepared
-                        .query_topk(oracle, plan.k, plan.thres, &cleaner);
+                    let report = entry.as_ref().expect("phase-1 engine").prepared.query_topk(
+                        query_oracle,
+                        plan.k,
+                        plan.thres,
+                        &cleaner,
+                    );
                     let quality = frame_quality(oracle, &report, plan.k);
                     (
                         report_rows(&report, fps),
                         Some(report.confidence),
                         Some(report.converged),
+                        Some(report.termination),
                         Some(report.iterations),
                         Some(report.cleaned),
                         report.sim_seconds(),
@@ -383,7 +431,7 @@ impl Session {
                             .expect("phase-1 engine")
                             .prepared
                             .query_topk_windows(
-                                oracle,
+                                query_oracle,
                                 plan.k,
                                 plan.thres,
                                 len,
@@ -396,7 +444,7 @@ impl Session {
                             .expect("phase-1 engine")
                             .prepared
                             .query_topk_sliding_windows(
-                                oracle,
+                                query_oracle,
                                 plan.k,
                                 plan.thres,
                                 len,
@@ -411,6 +459,7 @@ impl Session {
                         report_rows(&report, fps),
                         Some(report.confidence),
                         Some(report.converged),
+                        Some(report.termination),
                         Some(report.iterations),
                         Some(report.cleaned),
                         report.sim_seconds(),
@@ -421,7 +470,16 @@ impl Session {
                     let result = scan_and_test(oracle, plan.k);
                     let quality = baseline_quality(oracle, &result, plan.k);
                     let rows = baseline_rows(&result, oracle, fps);
-                    (rows, None, None, None, None, result.sim_seconds, quality)
+                    (
+                        rows,
+                        None,
+                        None,
+                        None,
+                        None,
+                        None,
+                        result.sim_seconds,
+                        quality,
+                    )
                 }
                 (Engine::Scan, PlanTarget::Windows { len, slide, .. }) => {
                     let windows = sliding_windows(n, len, slide);
@@ -440,28 +498,55 @@ impl Session {
                         .collect();
                     let truth = GroundTruth::new(w_scores);
                     let quality = Some(evaluate_topk(&truth, &top, plan.k));
-                    (rows, None, None, None, None, scan_seconds, quality)
+                    (rows, None, None, None, None, None, scan_seconds, quality)
                 }
                 (Engine::CmdnOnly, PlanTarget::Frames) => {
                     let result =
                         cmdn_only(&entry.as_ref().expect("phase-1 engine").prepared, plan.k);
                     let quality = baseline_quality(oracle, &result, plan.k);
                     let rows = baseline_rows(&result, oracle, fps);
-                    (rows, None, None, None, None, result.sim_seconds, quality)
+                    (
+                        rows,
+                        None,
+                        None,
+                        None,
+                        None,
+                        None,
+                        result.sim_seconds,
+                        quality,
+                    )
                 }
                 (Engine::Hog, PlanTarget::Frames) => {
                     let scorer = HogScorer::new(oracle.clone(), plan.seed ^ 0x09);
                     let result = cheap_scan(&scorer, plan.k);
                     let quality = baseline_quality(oracle, &result, plan.k);
                     let rows = baseline_rows(&result, oracle, fps);
-                    (rows, None, None, None, None, result.sim_seconds, quality)
+                    (
+                        rows,
+                        None,
+                        None,
+                        None,
+                        None,
+                        None,
+                        result.sim_seconds,
+                        quality,
+                    )
                 }
                 (Engine::TinyYolo, PlanTarget::Frames) => {
                     let scorer = TinyYoloScorer::new(oracle.clone(), plan.seed ^ 0x77);
                     let result = cheap_scan(&scorer, plan.k);
                     let quality = baseline_quality(oracle, &result, plan.k);
                     let rows = baseline_rows(&result, oracle, fps);
-                    (rows, None, None, None, None, result.sim_seconds, quality)
+                    (
+                        rows,
+                        None,
+                        None,
+                        None,
+                        None,
+                        None,
+                        result.sim_seconds,
+                        quality,
+                    )
                 }
                 (Engine::SelectTopk, PlanTarget::Frames) => {
                     let result = select_and_topk_calibrated(
@@ -472,7 +557,16 @@ impl Session {
                     );
                     let quality = baseline_quality(oracle, &result, plan.k);
                     let rows = baseline_rows(&result, oracle, fps);
-                    (rows, None, None, None, None, result.sim_seconds, quality)
+                    (
+                        rows,
+                        None,
+                        None,
+                        None,
+                        None,
+                        None,
+                        result.sim_seconds,
+                        quality,
+                    )
                 }
                 (engine, PlanTarget::Windows { .. }) => {
                     // analyze() rejects this; keep a defensive error rather
@@ -488,6 +582,10 @@ impl Session {
             };
 
         let sim = sim_seconds.max(f64::MIN_POSITIVE);
+        let (oracle_retries, breaker_trips) = match &flaky {
+            Some(f) => (Some(f.retries()), Some(f.breaker_trips())),
+            None => (None, None),
+        };
         Ok(QueryOutput {
             rows,
             stats: ExecStats {
@@ -496,8 +594,11 @@ impl Session {
                 n_items: plan.n_items(),
                 confidence,
                 converged,
+                termination,
                 iterations,
                 cleaned,
+                oracle_retries,
+                breaker_trips,
                 sim_seconds,
                 scan_seconds,
                 speedup: scan_seconds / sim,
@@ -612,16 +713,21 @@ impl Session {
             budget_per_emit: plan.stream_budget,
             quant_step: rel.step(),
             max_bucket: rel.max_bucket(),
+            budget: QueryBudget {
+                max_oracle_calls: plan.max_oracle_calls,
+                deadline_sim_seconds: plan.deadline,
+                cancel: self.cancel.clone(),
+            },
             ..StreamConfig::default()
         };
         let retained = entry.prepared.phase1.segments.retained().to_vec();
-        let oracle = RetainedOracle {
-            oracle: entry.oracle.clone(),
-            retained: retained.clone(),
-            step: rel.step(),
-            max_bucket: rel.max_bucket(),
-            cleaned: 0,
-        };
+        let oracle = RetainedOracle::new(
+            entry.oracle.clone(),
+            retained.clone(),
+            rel.step(),
+            rel.max_bucket(),
+            plan.flaky_seed,
+        );
         let n = plan.n_frames;
         let decode = DecodeCostModel::default();
         let scan_seconds =
@@ -787,8 +893,11 @@ impl Session {
                 n_items: rel.len(),
                 confidence: Some(outcome.confidence),
                 converged: Some(outcome.converged),
+                termination: None,
                 iterations: Some(outcome.iterations),
                 cleaned: Some(outcome.cleaned),
+                oracle_retries: None,
+                breaker_trips: None,
                 sim_seconds,
                 scan_seconds,
                 speedup: scan_seconds / sim_seconds.max(f64::MIN_POSITIVE),
@@ -803,24 +912,69 @@ impl Session {
 
 /// A [`CleaningOracle`] over the retained stream: x-tuple id → retained
 /// video frame → exact detector score → quantized bucket (the same mapping
-/// `pipeline::query_topk` uses).
+/// `pipeline::query_topk` uses). With a flaky seed the scoring path runs
+/// through seeded fault injection + deterministic retry/backoff.
 struct RetainedOracle {
     oracle: ExactScoreOracle,
+    flaky: Option<RetryingOracle<FlakyOracle<ExactScoreOracle>>>,
     retained: Vec<usize>,
     step: f64,
     max_bucket: usize,
     cleaned: usize,
 }
 
+impl RetainedOracle {
+    fn new(
+        oracle: ExactScoreOracle,
+        retained: Vec<usize>,
+        step: f64,
+        max_bucket: usize,
+        flaky_seed: Option<u64>,
+    ) -> Self {
+        let flaky = flaky_seed.map(|s| RetryingOracle::new(FlakyOracle::new(oracle.clone(), s)));
+        RetainedOracle {
+            oracle,
+            flaky,
+            retained,
+            step,
+            max_bucket,
+            cleaned: 0,
+        }
+    }
+
+    /// The oracle the fallible path scores through.
+    fn scoring(&self) -> &dyn Oracle {
+        match &self.flaky {
+            Some(f) => f,
+            None => &self.oracle,
+        }
+    }
+
+    fn buckets(&self, scores: Vec<f64>) -> Vec<u32> {
+        scores
+            .into_iter()
+            .map(|s| ((s / self.step).round().max(0.0) as usize).min(self.max_bucket) as u32)
+            .collect()
+    }
+}
+
 impl CleaningOracle for RetainedOracle {
     fn clean_batch(&mut self, items: &[ItemId]) -> Vec<u32> {
         let frames: Vec<usize> = items.iter().map(|&i| self.retained[i]).collect();
         self.cleaned += frames.len();
-        self.oracle
-            .score_batch(&frames)
-            .into_iter()
-            .map(|s| ((s / self.step).round().max(0.0) as usize).min(self.max_bucket) as u32)
-            .collect()
+        let scores = self.oracle.score_batch(&frames);
+        self.buckets(scores)
+    }
+
+    fn try_clean_batch(&mut self, items: &[ItemId]) -> Result<Vec<u32>, OracleError> {
+        let frames: Vec<usize> = items.iter().map(|&i| self.retained[i]).collect();
+        let scores = self.scoring().try_score_batch(&frames)?;
+        self.cleaned += frames.len();
+        Ok(self.buckets(scores))
+    }
+
+    fn sim_seconds_spent(&self) -> f64 {
+        self.cleaned as f64 * self.oracle.cost_per_frame() + self.scoring().sim_overhead_seconds()
     }
 }
 
@@ -898,16 +1052,22 @@ impl StreamSession {
             self.verify_against_batch()?;
         }
         let last = self.answers.last();
-        let sim_seconds =
-            self.phase1_seconds + self.oracle.cleaned as f64 * self.oracle.oracle.cost_per_frame();
+        let sim_seconds = self.phase1_seconds + self.oracle.sim_seconds_spent();
+        let (oracle_retries, breaker_trips) = match &self.oracle.flaky {
+            Some(f) => (Some(f.retries()), Some(f.breaker_trips())),
+            None => (None, None),
+        };
         let stats = ExecStats {
             engine: Engine::Everest,
             n_frames: self.plan.n_frames,
             n_items: self.dists.len(),
             confidence: last.map(|a| a.confidence),
             converged: last.map(|a| a.converged),
+            termination: last.map(|a| a.termination),
             iterations: Some(self.answers.len()),
             cleaned: Some(self.engine.cleaned_total()),
+            oracle_retries,
+            breaker_trips,
             sim_seconds,
             scan_seconds: self.scan_seconds,
             speedup: self.scan_seconds / sim_seconds.max(f64::MIN_POSITIVE),
@@ -927,13 +1087,14 @@ impl StreamSession {
     /// replays the whole stream from scratch with per-emit rebuilds and
     /// demands identical answers at every emit point.
     fn verify_against_batch(&mut self) -> Result<(), EvqlError> {
-        let mut oracle = RetainedOracle {
-            oracle: self.oracle.oracle.clone(),
-            retained: self.retained.clone(),
-            step: self.cfg.quant_step,
-            max_bucket: self.cfg.max_bucket,
-            cleaned: 0,
-        };
+        // A fresh wrapper replays the same fault schedule from call 0.
+        let mut oracle = RetainedOracle::new(
+            self.oracle.oracle.clone(),
+            self.retained.clone(),
+            self.cfg.quant_step,
+            self.cfg.max_bucket,
+            self.plan.flaky_seed,
+        );
         let reference = batch_reference(&self.cfg, &self.dists, &mut oracle);
         let mismatch = |what: String| {
             EvqlError::new(
@@ -1099,6 +1260,14 @@ impl ExecStats {
         if let Some(c) = self.confidence {
             out.push_str(&format!("  confidence={c:.4}"));
         }
+        if let Some(t) = self.termination {
+            if t.is_degraded() {
+                out.push_str(&format!("  termination={t}"));
+            }
+        }
+        if let (Some(r), Some(b)) = (self.oracle_retries, self.breaker_trips) {
+            out.push_str(&format!("  retries={r}  breaker-trips={b}"));
+        }
         if let (Some(it), Some(cl)) = (self.iterations, self.cleaned) {
             out.push_str(&format!(
                 "  iterations={it}  cleaned={cl} ({:.2}%)",
@@ -1146,8 +1315,11 @@ impl StreamOutput {
                 a.confidence,
                 if a.converged {
                     "converged"
-                } else {
+                } else if a.termination == Termination::BudgetExhausted {
+                    // pre-termination spelling, pinned by the CLI tests
                     "budget-capped"
+                } else {
+                    a.termination.as_str()
                 },
             ));
             out.push_str("rank  frame      t+ (mm:ss)     score\n");

@@ -183,6 +183,7 @@ impl Parser {
         let mut score = None;
         let mut engine = None;
         let mut every = None;
+        let mut within = None;
         let mut options = Vec::new();
         loop {
             if self.eat_kw("SCORE") {
@@ -203,6 +204,14 @@ impl Parser {
                 self.expect_kw("FRAMES")?;
                 self.expect_kw("EMIT")?;
                 every = Some((n, span));
+            } else if self.eat_kw("WITHIN") {
+                if within.is_some() {
+                    return Err(self.duplicate_clause("WITHIN"));
+                }
+                let (n, span) = self.expect_int("the oracle-call budget")?;
+                self.expect_kw("ORACLE")?;
+                self.expect_kw("CALLS")?;
+                within = Some((n, span));
             } else if self.eat_kw("WITH") {
                 options.push(self.option_clause()?);
                 while self.peek().is_some_and(|t| t.kind == TokenKind::Comma) {
@@ -222,6 +231,7 @@ impl Parser {
             score,
             engine,
             every,
+            within,
             options,
         })
     }
@@ -685,6 +695,61 @@ mod tests {
         );
     }
 
+    // ---- WITHIN … ORACLE CALLS (anytime budgets) ----
+
+    #[test]
+    fn within_clause_parses_with_value_and_span() {
+        let src = "SELECT TOP 5 FRAMES FROM Archie WITHIN 200 ORACLE CALLS";
+        let s = select(src);
+        let (n, span) = s.within.unwrap();
+        assert_eq!(n, 200);
+        assert_eq!(&src[span.start..span.end], "200");
+    }
+
+    #[test]
+    fn within_composes_with_other_clauses() {
+        let s = select(
+            "SELECT TOP 5 FRAMES FROM Archie WITHIN 50 ORACLE CALLS \
+             USING everest WITH SEED 1, DEADLINE 2.5",
+        );
+        assert_eq!(s.within.unwrap().0, 50);
+        assert!(s.engine.is_some());
+        assert_eq!(s.options.len(), 2);
+        // order is flexible: WITH before WITHIN also parses
+        let s = select("SELECT TOP 5 FRAMES FROM Archie WITH SEED 1 WITHIN 9 ORACLE CALLS");
+        assert_eq!(s.within.unwrap().0, 9);
+    }
+
+    #[test]
+    fn within_requires_oracle_calls_keywords() {
+        let e = err("SELECT TOP 5 FRAMES FROM Archie WITHIN 50 CALLS");
+        assert!(e.message().contains("`ORACLE`"), "{}", e.message());
+        let e = err("SELECT TOP 5 FRAMES FROM Archie WITHIN 50 ORACLE");
+        assert!(e.message().contains("`CALLS`"), "{}", e.message());
+    }
+
+    #[test]
+    fn within_budget_must_be_an_integer() {
+        let src = "SELECT TOP 5 FRAMES FROM Archie WITHIN fast ORACLE CALLS";
+        let e = err(src);
+        assert!(
+            e.message().contains("oracle-call budget"),
+            "{}",
+            e.message()
+        );
+        assert_eq!(&src[e.span.start..e.span.end], "fast");
+    }
+
+    #[test]
+    fn duplicate_within_clause_rejected() {
+        let e = err("SELECT TOP 5 FRAMES FROM x WITHIN 5 ORACLE CALLS WITHIN 6 ORACLE CALLS");
+        assert!(
+            e.message().contains("at most one `WITHIN`"),
+            "{}",
+            e.message()
+        );
+    }
+
     #[test]
     fn select_display_round_trips() {
         for src in [
@@ -694,6 +759,8 @@ mod tests {
              SCORE count(boat) USING everest WITH CONFIDENCE 0.95, SEED 7",
             "SELECT TOP 3 FRAMES FROM Archie EVERY 25 FRAMES EMIT \
              WITH WINDOW 100, BUDGET 8",
+            "SELECT TOP 4 FRAMES FROM Archie WITHIN 100 ORACLE CALLS \
+             WITH DEADLINE 1.5, FLAKY 7",
         ] {
             let first = select(src);
             let rendered = first.display();

@@ -110,6 +110,16 @@ pub struct QueryPlan {
     /// Per-emit oracle-cleaning budget (`WITH BUDGET b`); `None` cleans
     /// until the confidence threshold is met.
     pub stream_budget: Option<usize>,
+    /// `WITHIN <n> ORACLE CALLS`: hard cap on Phase-2 oracle calls for
+    /// the whole query; exceeding it yields a degraded (anytime) answer.
+    pub max_oracle_calls: Option<usize>,
+    /// `WITH DEADLINE <s>`: simulated-seconds deadline on Phase-2
+    /// cleaning; exceeding it yields a degraded answer.
+    pub deadline: Option<f64>,
+    /// `WITH FLAKY <seed>`: wrap the oracle in seeded fault injection
+    /// (timeouts, transient errors, latency spikes) with deterministic
+    /// retry/backoff. `None` runs the pristine oracle.
+    pub flaky_seed: Option<u64>,
 }
 
 impl QueryPlan {
@@ -147,6 +157,20 @@ impl QueryPlan {
             }
         ));
         let mut indent = " └─ ";
+        if self.max_oracle_calls.is_some() || self.deadline.is_some() || self.flaky_seed.is_some() {
+            let mut parts = Vec::new();
+            if let Some(c) = self.max_oracle_calls {
+                parts.push(format!("calls≤{c}"));
+            }
+            if let Some(d) = self.deadline {
+                parts.push(format!("deadline={d}s"));
+            }
+            if let Some(s) = self.flaky_seed {
+                parts.push(format!("flaky(seed={s})"));
+            }
+            out.push_str(&format!("{indent}Budget({})\n", parts.join(", ")));
+            indent = "     └─ ";
+        }
         if let Some(stride) = self.emit_every {
             out.push_str(&format!(
                 "{indent}StreamEmit(every={stride} frames, window={}, budget={})\n",
@@ -290,6 +314,9 @@ mod tests {
             emit_every: None,
             stream_window: None,
             stream_budget: None,
+            max_oracle_calls: None,
+            deadline: None,
+            flaky_seed: None,
         }
     }
 
@@ -364,6 +391,23 @@ mod tests {
         p.stream_budget = None;
         let text = p.explain();
         assert!(text.contains("window=prefix, budget=unbounded"), "{text}");
+    }
+
+    #[test]
+    fn explain_budget_node_renders_only_when_set() {
+        let mut p = plan(PlanTarget::Frames, 5000);
+        assert!(!p.explain().contains("Budget("), "{}", p.explain());
+        p.max_oracle_calls = Some(200);
+        p.deadline = Some(2.5);
+        p.flaky_seed = Some(7);
+        let text = p.explain();
+        assert!(
+            text.contains("Budget(calls≤200, deadline=2.5s, flaky(seed=7))"),
+            "{text}"
+        );
+        let budget_at = text.find("Budget").unwrap();
+        assert!(text.find("TopK").unwrap() < budget_at, "{text}");
+        assert!(budget_at < text.find("UncertainScan").unwrap(), "{text}");
     }
 
     #[test]

@@ -121,6 +121,16 @@ pub enum Response {
     Error { id: u64, text: String },
     /// Echo of a [`Request::Ping`].
     Pong { id: u64, nonce: Vec<u8> },
+    /// The daemon shed this query at admission (too many queries already
+    /// in flight). Distinct from [`Response::Error`] so load generators
+    /// and clients can retry/back off without parsing message text.
+    Overloaded {
+        id: u64,
+        /// Queries in flight when the request was shed (the admission
+        /// limit it collided with).
+        inflight: u64,
+        text: String,
+    },
 }
 
 const TAG_QUERY: u8 = 0x01;
@@ -130,6 +140,7 @@ const TAG_ANSWER: u8 = 0x81;
 const TAG_MESSAGE: u8 = 0x82;
 const TAG_ERROR: u8 = 0x83;
 const TAG_PONG: u8 = 0x84;
+const TAG_OVERLOADED: u8 = 0x85;
 
 impl Request {
     /// Encodes the payload (no length prefix).
@@ -216,6 +227,12 @@ impl Response {
                 put_u64(&mut out, *id);
                 put_bytes(&mut out, nonce);
             }
+            Response::Overloaded { id, inflight, text } => {
+                out.push(TAG_OVERLOADED);
+                put_u64(&mut out, *id);
+                put_u64(&mut out, *inflight);
+                put_bytes(&mut out, text.as_bytes());
+            }
         }
         out
     }
@@ -242,6 +259,11 @@ impl Response {
                 id: r.u64("pong id")?,
                 nonce: r.bytes("pong nonce")?,
             },
+            TAG_OVERLOADED => Response::Overloaded {
+                id: r.u64("overloaded id")?,
+                inflight: r.u64("overloaded inflight")?,
+                text: r.string("overloaded text")?,
+            },
             other => return Err(WireError::BadTag(other)),
         };
         r.finish()?;
@@ -254,7 +276,8 @@ impl Response {
             Response::Answer { id, .. }
             | Response::Message { id, .. }
             | Response::Error { id, .. }
-            | Response::Pong { id, .. } => *id,
+            | Response::Pong { id, .. }
+            | Response::Overloaded { id, .. } => *id,
         }
     }
 }
@@ -451,6 +474,7 @@ fn put_stream(out: &mut Vec<u8>, s: &StreamOutput) {
         put_u64(out, a.window_start as u64);
         put_f64(out, a.confidence);
         out.push(a.converged as u8);
+        out.push(a.termination.code());
         put_u64(out, a.cleaned as u64);
         put_u32(out, a.topk.len() as u32);
         for &(id, bucket) in &a.topk {
@@ -471,9 +495,12 @@ fn put_stream(out: &mut Vec<u8>, s: &StreamOutput) {
 
 /// Result-shaped stats subset. The fields that legitimately differ
 /// between a daemon (shared cache, real sockets) and a private session
-/// are deliberately absent: `wall`, `phase1_cached`, and the latency trio
+/// are deliberately absent: `wall`, `phase1_cached`, the latency trio
 /// `sim_seconds`/`scan_seconds`/`speedup` (`sim_seconds` includes the
-/// *measured* Phase-2 select time, so its low bits are wall-derived).
+/// *measured* Phase-2 select time, so its low bits are wall-derived), and
+/// the retry/breaker counters (operational telemetry, not an answer).
+/// `termination` *is* canonical: given the same budget and fault seed the
+/// stop cause is deterministic, and it qualifies the degraded answer.
 fn put_stats(out: &mut Vec<u8>, stats: &ExecStats) {
     put_bytes(out, stats.engine.display().as_bytes());
     put_u64(out, stats.n_frames as u64);
@@ -495,6 +522,8 @@ fn put_stats(out: &mut Vec<u8>, stats: &ExecStats) {
             put_f64(out, q.score_error);
         }
     }
+    // 0 = no Phase 2 ran; otherwise the Termination wire code (1–5).
+    out.push(stats.termination.map_or(0, |t| t.code()));
 }
 
 // ---- primitive encoders ----
@@ -636,6 +665,11 @@ mod tests {
             Response::Pong {
                 id: 9,
                 nonce: vec![],
+            },
+            Response::Overloaded {
+                id: 11,
+                inflight: 32,
+                text: "too many queries in flight".into(),
             },
         ];
         for resp in resps {

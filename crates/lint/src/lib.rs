@@ -11,8 +11,8 @@
 //! * **determinism** — no hash-order iteration, wall-clock reads, or
 //!   implicit f32 iterator sums on result paths
 //!   ([`rules::determinism`]);
-//! * **env-var registry** — `EVEREST_*` variables in source ↔
-//!   `docs/BENCHMARKING.md` table, both directions
+//! * **env-var registry** — `EVEREST_*` variables in source and CI
+//!   workflows ↔ `docs/BENCHMARKING.md` table, both directions
 //!   ([`rules::env_registry`]);
 //! * **panic-policy** — budgeted burn-down of `unwrap()`/`expect()` in
 //!   the core/evql library crates ([`rules::panic_policy`]);
@@ -122,6 +122,9 @@ pub fn lint_root(root: &Path) -> Report {
         }
         rules::env_registry::collect(ctx, &mut var_sites);
     }
+    // CI workflows are reference sites too: an `EVEREST_*` knob set only
+    // as a job `env:` entry must still appear in the registry.
+    rules::env_registry::collect_workflows(root, &mut var_sites);
 
     // Pass 2: per-file rules.
     let mut diagnostics = Vec::new();

@@ -4,10 +4,16 @@
 //! `docs/BENCHMARKING.md` registry table must stay equal.
 //!
 //! IDs:
-//! * `env-var-undocumented` — an `EVEREST_*` string literal in source has
-//!   no mention in `docs/BENCHMARKING.md`.
+//! * `env-var-undocumented` — an `EVEREST_*` string literal in source (or
+//!   a CI workflow under `.github/workflows/`) has no mention in
+//!   `docs/BENCHMARKING.md`.
 //! * `env-var-doc-stale` — `docs/BENCHMARKING.md` documents an
-//!   `EVEREST_*` variable no source file references.
+//!   `EVEREST_*` variable neither source nor CI references.
+//!
+//! CI workflows count as reference sites on both sides of the check: a
+//! knob introduced only as a job `env:` entry (the chaos/scalar jobs set
+//! several) still must be registered, and a knob referenced only from CI
+//! keeps its registry row alive.
 
 use crate::source::{everest_vars, FileCtx, VarSites};
 use crate::Diagnostic;
@@ -27,6 +33,41 @@ pub fn collect(ctx: &FileCtx, sites: &mut VarSites) {
         }
         for var in everest_vars(&t.text) {
             sites.entry(var).or_insert((ctx.rel.clone(), t.line));
+        }
+    }
+}
+
+/// Harvests `EVEREST_*` names from CI workflow files
+/// (`.github/workflows/*.yml|yaml`) into `sites`, line by line — YAML is
+/// outside the Rust lexer's reach, but env knobs set there are just as
+/// much a part of the operational surface.
+pub fn collect_workflows(root: &Path, sites: &mut VarSites) {
+    let dir = root.join(".github/workflows");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut files: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension()
+                .is_some_and(|ext| ext == "yml" || ext == "yaml")
+        })
+        .collect();
+    files.sort();
+    for path in files {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        for (i, line) in text.lines().enumerate() {
+            for var in everest_vars(line) {
+                sites.entry(var).or_insert((rel.clone(), i + 1));
+            }
         }
     }
 }

@@ -7,6 +7,9 @@
 //!
 //! * [`oracle`] — the [`oracle::Oracle`] trait (exact batch scoring + a
 //!   simulated per-frame GPU cost) with instrumentation;
+//! * [`fault`] — fault injection and tolerance: [`fault::FlakyOracle`]
+//!   (seeded deterministic timeouts/transient errors/latency spikes) and
+//!   [`fault::RetryingOracle`] (sim-clock backoff + circuit breaker);
 //! * [`detector`] — ground-truth object detections (boxes + classes) read
 //!   back from the synthetic videos, standing in for YOLOv3 output;
 //! * [`tracker`] — the IoU-based object tracker that assigns stable
@@ -29,6 +32,7 @@ pub mod classic;
 pub mod counting;
 pub mod depth;
 pub mod detector;
+pub mod fault;
 pub mod oracle;
 pub mod relation;
 pub mod sentiment;
@@ -38,6 +42,7 @@ pub use classic::{CheapScorer, HogScorer, TinyYoloScorer};
 pub use counting::{counting_oracle, coverage_oracle};
 pub use depth::depth_oracle;
 pub use detector::{Detection, Detector, GroundTruthDetector};
+pub use fault::{FaultPlan, FlakyOracle, OracleError, RetryPolicy, RetryingOracle};
 pub use oracle::{ExactScoreOracle, InstrumentedOracle, Oracle};
 pub use relation::{VideoRelation, VideoRelationRow};
 pub use tracker::IouTracker;

@@ -6,6 +6,7 @@
 //! is simulated: every scored frame charges `cost_per_frame` simulated
 //! seconds to whoever is accounting (the pipeline's `SimClock`).
 
+use crate::fault::OracleError;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,8 +16,25 @@ pub trait Oracle: Send + Sync {
     /// Exact scores for a batch of frame indices.
     fn score_batch(&self, frames: &[usize]) -> Vec<f64>;
 
+    /// Fallible batch scoring: the surface a production detector
+    /// actually has (it times out, throttles, dies). The default wraps
+    /// the infallible path and never fails; fault-injection wrappers
+    /// ([`crate::fault::FlakyOracle`]) and fault-tolerance wrappers
+    /// ([`crate::fault::RetryingOracle`]) override it.
+    fn try_score_batch(&self, frames: &[usize]) -> Result<Vec<f64>, OracleError> {
+        Ok(self.score_batch(frames))
+    }
+
     /// Simulated inference cost per frame, in seconds.
     fn cost_per_frame(&self) -> f64;
+
+    /// Simulated seconds of *overhead* accumulated beyond per-frame
+    /// scoring cost — fault penalties, retry backoff. Budget-aware
+    /// callers add this to `frames_scored * cost_per_frame` when
+    /// enforcing deadlines. Default: no overhead.
+    fn sim_overhead_seconds(&self) -> f64 {
+        0.0
+    }
 
     /// Total number of frames the oracle could score.
     fn num_frames(&self) -> usize;
@@ -157,8 +175,25 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
         self.inner.score_batch(frames)
     }
 
+    fn try_score_batch(&self, frames: &[usize]) -> Result<Vec<f64>, OracleError> {
+        // Counters move only on success: a failed call scored nothing, so
+        // neither simulated cost nor "% cleaned" should charge for it.
+        let scores = self.inner.try_score_batch(frames)?;
+        self.frames_scored
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if self.keep_trace {
+            self.trace.lock().extend_from_slice(frames);
+        }
+        Ok(scores)
+    }
+
     fn cost_per_frame(&self) -> f64 {
         self.inner.cost_per_frame()
+    }
+
+    fn sim_overhead_seconds(&self) -> f64 {
+        self.inner.sim_overhead_seconds()
     }
 
     fn num_frames(&self) -> usize {

@@ -35,6 +35,21 @@ pub struct ServeConfig {
     /// keep the daemon waiting for the rest of it before being dropped.
     /// Complete frames are always served regardless.
     pub drain_grace: Duration,
+    /// Admission control: queries allowed to execute concurrently across
+    /// all workers. A query arriving while this many are in flight is
+    /// *shed* — answered immediately with the typed
+    /// [`everest_evql::wire::Response::Overloaded`] frame instead of
+    /// queueing behind work the daemon cannot keep up with. `None`
+    /// disables shedding (the worker pool is then the only bound).
+    pub max_inflight_queries: Option<usize>,
+    /// Keep-alive bound: queries one connection may run before the
+    /// daemon closes it (after answering the last one). `None` =
+    /// unlimited. Recycling long-lived connections bounds per-session
+    /// state and redistributes clients across workers.
+    pub max_queries_per_connection: Option<u64>,
+    /// Keep-alive bound: how long a connection may sit idle (no complete
+    /// frame) before the daemon closes it. `None` = unlimited.
+    pub idle_timeout: Option<Duration>,
     /// EVQL statements executed once at boot on a warmup session, before
     /// the listener starts serving — the "load a catalog of prepared
     /// videos" step (each statement populates the shared cache).
@@ -53,6 +68,9 @@ impl Default for ServeConfig {
             read_poll: Duration::from_millis(20),
             write_timeout: Duration::from_secs(2),
             drain_grace: Duration::from_millis(500),
+            max_inflight_queries: None,
+            max_queries_per_connection: None,
+            idle_timeout: None,
             warmup: Vec::new(),
         }
     }

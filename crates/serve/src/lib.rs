@@ -51,7 +51,7 @@ pub mod server;
 
 pub use client::Client;
 pub use config::ServeConfig;
-pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use loadgen::{flaky_mix, run_loadgen, LoadgenConfig, LoadgenReport};
 pub use metrics::{LatencyHistogram, Metrics, WALL_CLOCK_MARKER};
 pub use registry::{SessionRegistry, SessionState};
 pub use server::{Server, ServerHandle, ShutdownReport};

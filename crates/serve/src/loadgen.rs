@@ -62,15 +62,47 @@ pub fn default_mix() -> Vec<String> {
     .to_vec()
 }
 
+/// A fault-injection mix (`--flaky-seed`): Everest-engine queries whose
+/// Phase-2 oracle is wrapped in the seeded `everest_models::FlakyOracle`
+/// via `WITH FLAKY`, under tight call caps and deadlines so some answers
+/// come back degraded. Every knob is in the query text, so the run stays
+/// a pure function of the seeds and the combined digest stays comparable
+/// across runs.
+pub fn flaky_mix(seed: u64) -> Vec<String> {
+    vec![
+        format!(
+            "SELECT TOP 5 FRAMES FROM Archie \
+             WITHIN 60 ORACLE CALLS WITH SEED 11, FLAKY {seed}"
+        ),
+        format!(
+            "SELECT TOP 3 FRAMES FROM Taipei-bus \
+             WITH SEED 12, DEADLINE 4.0, FLAKY {}",
+            seed.wrapping_add(1)
+        ),
+        format!(
+            "SELECT TOP 4 FRAMES FROM Irish-Center \
+             WITHIN 40 ORACLE CALLS WITH SEED 13, FLAKY {}",
+            seed.wrapping_add(2)
+        ),
+    ]
+}
+
 /// What a load run produced.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
     /// Sessions driven.
     pub sessions: usize,
-    /// Queries that completed with a response.
+    /// Queries that completed with a response (including shed ones —
+    /// an `Overloaded` frame is a response).
     pub queries_total: u64,
     /// Responses that were errors (daemon- or query-level).
     pub errors: u64,
+    /// Responses that were typed `Overloaded` frames: the daemon shed
+    /// the query at admission. Always 0 unless the daemon runs with
+    /// `max_inflight_queries` set and the load exceeds it. Shed answers
+    /// carry no canonical bytes, so a run with `shed > 0` has a
+    /// load-dependent digest.
+    pub shed: u64,
     /// End-to-end wall time of the run.
     pub wall: Duration,
     /// `queries_total / wall`.
@@ -89,11 +121,12 @@ impl LoadgenReport {
     /// One-line-per-field text report.
     pub fn render(&self) -> String {
         format!(
-            "sessions={}\nqueries={}\nerrors={}\nwall_ms={}\nqps={:.1}\n\
+            "sessions={}\nqueries={}\nerrors={}\nshed={}\nwall_ms={}\nqps={:.1}\n\
              p50_us={}\np99_us={}\ndigest={:016x}\n",
             self.sessions,
             self.queries_total,
             self.errors,
+            self.shed,
             self.wall.as_millis(),
             self.qps,
             self.p50_us,
@@ -143,49 +176,57 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     for session_idx in 0..cfg.sessions {
         let cfg = cfg.clone();
         let latency = Arc::clone(&latency);
-        threads.push(thread::spawn(move || -> io::Result<(u64, u64, u64)> {
-            let mut client = Client::connect(cfg.addr)?;
-            let mut rng = cfg.seed ^ (session_idx as u64).wrapping_mul(0xa076_1d64_78bd_642f);
-            let mut digest = FNV_OFFSET;
-            let mut completed = 0u64;
-            let mut errors = 0u64;
-            for _ in 0..cfg.queries_per_session {
-                let pick = (splitmix64(&mut rng) % cfg.mix.len() as u64) as usize;
-                // lint:allow(det-wallclock): per-query round-trip sample.
-                let t0 = Instant::now();
-                let response = client.query(&cfg.mix[pick])?;
-                latency.record_us(t0.elapsed().as_micros() as u64);
-                completed += 1;
-                match response {
-                    Response::Answer { canonical, .. } => {
-                        digest = fnv1a(digest, &canonical);
-                    }
-                    Response::Message { text, .. } => {
-                        digest = fnv1a(digest, text.as_bytes());
-                    }
-                    Response::Error { .. } => errors += 1,
-                    Response::Pong { .. } => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            "pong in response to a query",
-                        ));
+        threads.push(thread::spawn(
+            move || -> io::Result<(u64, u64, u64, u64)> {
+                let mut client = Client::connect(cfg.addr)?;
+                let mut rng = cfg.seed ^ (session_idx as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+                let mut digest = FNV_OFFSET;
+                let mut completed = 0u64;
+                let mut errors = 0u64;
+                let mut shed = 0u64;
+                for _ in 0..cfg.queries_per_session {
+                    let pick = (splitmix64(&mut rng) % cfg.mix.len() as u64) as usize;
+                    // lint:allow(det-wallclock): per-query round-trip sample.
+                    let t0 = Instant::now();
+                    let response = client.query(&cfg.mix[pick])?;
+                    latency.record_us(t0.elapsed().as_micros() as u64);
+                    completed += 1;
+                    match response {
+                        Response::Answer { canonical, .. } => {
+                            digest = fnv1a(digest, &canonical);
+                        }
+                        Response::Message { text, .. } => {
+                            digest = fnv1a(digest, text.as_bytes());
+                        }
+                        Response::Error { .. } => errors += 1,
+                        // Shed at admission: counted, not digested (which
+                        // query gets shed is timing-dependent).
+                        Response::Overloaded { .. } => shed += 1,
+                        Response::Pong { .. } => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "pong in response to a query",
+                            ));
+                        }
                     }
                 }
-            }
-            Ok((digest, completed, errors))
-        }));
+                Ok((digest, completed, errors, shed))
+            },
+        ));
     }
 
     let mut digest = 0u64;
     let mut queries_total = 0u64;
     let mut errors = 0u64;
+    let mut shed = 0u64;
     for t in threads {
-        let (d, q, e) = t
+        let (d, q, e, s) = t
             .join()
             .map_err(|_| io::Error::other("loadgen session panicked"))??;
         digest = digest.wrapping_add(d);
         queries_total += q;
         errors += e;
+        shed += s;
     }
 
     let wall = started.elapsed();
@@ -193,6 +234,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         sessions: cfg.sessions,
         queries_total,
         errors,
+        shed,
         wall,
         qps: queries_total as f64 / wall.as_secs_f64().max(1e-9),
         p50_us: latency.quantile_us(0.50),

@@ -88,6 +88,17 @@ pub struct Metrics {
     pub queries_answered: AtomicU64,
     /// Queries that produced an EVQL error response.
     pub queries_failed: AtomicU64,
+    /// Queries shed at admission (`Overloaded` response). The drain
+    /// invariant becomes `accepted == answered + shed`.
+    pub shed_queries: AtomicU64,
+    /// Oracle calls retried after a fault, summed over fault-injected
+    /// (`WITH FLAKY`) queries.
+    pub oracle_retries: AtomicU64,
+    /// Circuit-breaker trips across fault-injected queries.
+    pub breaker_trips: AtomicU64,
+    /// Answers returned with a degraded termination (budget, deadline,
+    /// cancellation, oracle-down) instead of convergence.
+    pub degraded_answers: AtomicU64,
     /// Admin frames served.
     pub admin_commands: AtomicU64,
     /// Ping frames echoed.
@@ -123,6 +134,10 @@ impl Metrics {
             queries_accepted: AtomicU64::new(0),
             queries_answered: AtomicU64::new(0),
             queries_failed: AtomicU64::new(0),
+            shed_queries: AtomicU64::new(0),
+            oracle_retries: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            degraded_answers: AtomicU64::new(0),
             admin_commands: AtomicU64::new(0),
             pings: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
@@ -156,6 +171,17 @@ impl Metrics {
             self.queries_accepted.load(ld),
             answered,
             self.queries_failed.load(ld),
+        ));
+        // Robustness counters: deterministic for a fixed workload and
+        // fault seed (shedding only fires when the caller engineers an
+        // overload, and then the *count* is part of what the harness
+        // asserts via accepted == answered + shed).
+        out.push_str(&format!(
+            "shed_queries={}\noracle_retries={}\nbreaker_trips={}\ndegraded_answers={}\n",
+            self.shed_queries.load(ld),
+            self.oracle_retries.load(ld),
+            self.breaker_trips.load(ld),
+            self.degraded_answers.load(ld),
         ));
         out.push_str(&format!(
             "admin_commands={}\npings={}\n",
@@ -246,6 +272,14 @@ mod tests {
         assert!(!det.contains(WALL_CLOCK_MARKER));
         assert!(det.contains("queries_accepted=3"));
         assert!(det.contains("queries_answered=3"));
+        // The robustness counters are part of the deterministic prefix.
+        m.shed_queries.fetch_add(2, Ordering::Relaxed);
+        m.oracle_retries.fetch_add(5, Ordering::Relaxed);
+        let det = m.render_deterministic();
+        assert!(det.contains("shed_queries=2"));
+        assert!(det.contains("oracle_retries=5"));
+        assert!(det.contains("breaker_trips=0"));
+        assert!(det.contains("degraded_answers=0"));
         assert!(!det.contains("qps="));
         assert!(full.contains("latency_p99_us="));
     }

@@ -22,11 +22,12 @@
 use crate::config::ServeConfig;
 use crate::metrics::Metrics;
 use crate::registry::SessionRegistry;
+use everest_core::prelude::CancelToken;
 use everest_evql::wire::{self, FrameDecoder, Request, Response, WireError};
-use everest_evql::{EvqlError, Output, Session, SharedCache};
+use everest_evql::{EvqlError, ExecStats, Output, Session, SharedCache};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -39,6 +40,9 @@ struct Shared {
     registry: Arc<SessionRegistry>,
     shutdown: AtomicBool,
     addr: SocketAddr,
+    /// Queries currently executing across all workers; the admission
+    /// gate compares this against `cfg.max_inflight_queries`.
+    inflight: AtomicUsize,
 }
 
 /// What [`Server::run`] returns after a graceful shutdown.
@@ -47,9 +51,12 @@ pub struct ShutdownReport {
     /// Query frames fully decoded over the daemon's lifetime.
     pub queries_accepted: u64,
     /// Query responses produced (answer or query-level error). The
-    /// graceful-shutdown guarantee is `queries_answered ==
-    /// queries_accepted`: no accepted query is ever dropped.
+    /// graceful-shutdown guarantee is `queries_answered + queries_shed
+    /// == queries_accepted`: no accepted query is ever silently dropped.
     pub queries_answered: u64,
+    /// Queries refused at admission with a typed `Overloaded` response
+    /// (the daemon was at `max_inflight_queries`).
+    pub queries_shed: u64,
     /// Connections served end to end.
     pub connections: u64,
     /// Sessions still registered when the last worker exited (always 0
@@ -58,10 +65,11 @@ pub struct ShutdownReport {
 }
 
 impl ShutdownReport {
-    /// True when every accepted query was answered and every session
-    /// drained.
+    /// True when every accepted query was answered or explicitly shed,
+    /// and every session drained.
     pub fn clean(&self) -> bool {
-        self.queries_accepted == self.queries_answered && self.sessions_left == 0
+        self.queries_accepted == self.queries_answered + self.queries_shed
+            && self.sessions_left == 0
     }
 }
 
@@ -148,6 +156,7 @@ impl Server {
                 registry: Arc::new(SessionRegistry::new()),
                 shutdown: AtomicBool::new(false),
                 addr,
+                inflight: AtomicUsize::new(0),
             }),
             listener,
         })
@@ -218,6 +227,7 @@ impl Server {
         ShutdownReport {
             queries_accepted: shared.metrics.queries_accepted.load(ld),
             queries_answered: shared.metrics.queries_answered.load(ld),
+            queries_shed: shared.metrics.shed_queries.load(ld),
             connections: shared.metrics.connections_closed.load(ld),
             sessions_left: shared.registry.len(),
         }
@@ -294,6 +304,10 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, session_id: u64) -> 
     let mut decoder = FrameDecoder::new(cfg.max_frame);
     let mut buf = [0u8; 16 * 1024];
     let mut drain_deadline: Option<Instant> = None;
+    let mut queries_served = 0u64;
+    // lint:allow(det-wallclock): keep-alive idle clock; connection
+    // lifecycle only, never answer content.
+    let mut last_frame = Instant::now();
 
     loop {
         // Serve every complete frame before reading more: under shutdown
@@ -301,10 +315,24 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, session_id: u64) -> 
         loop {
             match decoder.next_frame() {
                 Ok(Some(payload)) => {
-                    if let Err(reason) =
-                        serve_frame(shared, &mut stream, &mut session, session_id, &payload)
-                    {
+                    // lint:allow(det-wallclock): keep-alive idle clock.
+                    last_frame = Instant::now();
+                    if let Err(reason) = serve_frame(
+                        shared,
+                        &mut stream,
+                        &mut session,
+                        session_id,
+                        &payload,
+                        &mut queries_served,
+                    ) {
                         return reason;
+                    }
+                    // Keep-alive recycling: the limit-hitting query is
+                    // fully answered, then the connection closes.
+                    if let Some(max) = cfg.max_queries_per_connection {
+                        if queries_served >= max {
+                            return CloseReason::Clean;
+                        }
                     }
                 }
                 Ok(None) => break,
@@ -348,6 +376,17 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, session_id: u64) -> 
             }
         }
 
+        // Keep-alive idle limit: a connection that has not completed a
+        // frame for this long is closed (a partial frame still counts as
+        // activity in progress, so it is exempt until it completes or the
+        // peer stalls past the limit anyway).
+        if let Some(idle) = cfg.idle_timeout {
+            // lint:allow(det-wallclock): keep-alive idle check.
+            if !decoder.has_partial() && last_frame.elapsed() >= idle {
+                return CloseReason::Clean;
+            }
+        }
+
         match stream.read(&mut buf) {
             Ok(0) => {
                 return if decoder.has_partial() {
@@ -370,12 +409,14 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream, session_id: u64) -> 
 }
 
 /// Serves one decoded frame. `Err` means the connection must close.
+/// `queries_served` counts query frames for the keep-alive limit.
 fn serve_frame(
     shared: &Shared,
     stream: &mut TcpStream,
     session: &mut Session,
     session_id: u64,
     payload: &[u8],
+    queries_served: &mut u64,
 ) -> Result<(), CloseReason> {
     shared
         .metrics
@@ -402,7 +443,10 @@ fn serve_frame(
     };
 
     match request {
-        Request::Query { id, text } => serve_query(shared, stream, session, session_id, id, &text),
+        Request::Query { id, text } => {
+            *queries_served += 1;
+            serve_query(shared, stream, session, session_id, id, &text)
+        }
         Request::Admin { id, command } => serve_admin(shared, stream, id, &command),
         Request::Ping { id, nonce } => {
             shared.metrics.pings.fetch_add(1, Ordering::Relaxed);
@@ -423,18 +467,79 @@ fn serve_query(
         .metrics
         .queries_accepted
         .fetch_add(1, Ordering::Relaxed);
+
+    // Admission gate: shed rather than queue once `max_inflight_queries`
+    // queries are already executing. The shed query is answered with a
+    // typed Overloaded frame and counts toward neither `answered` nor
+    // `failed` — the drain invariant is accepted == answered + shed.
+    let cur = shared.inflight.fetch_add(1, Ordering::SeqCst);
+    if let Some(max) = shared.cfg.max_inflight_queries {
+        if cur >= max {
+            shared.inflight.fetch_sub(1, Ordering::SeqCst);
+            shared.metrics.shed_queries.fetch_add(1, Ordering::Relaxed);
+            return write_response(
+                shared,
+                stream,
+                &Response::Overloaded {
+                    id,
+                    inflight: cur as u64,
+                    text: format!(
+                        "query shed: {cur} queries already in flight \
+                         (max_inflight_queries = {max}); retry with backoff"
+                    ),
+                },
+            );
+        }
+    }
+
     shared.registry.begin(session_id);
     // lint:allow(det-wallclock): per-query latency sample for the
     // histogram; rendered only below WALL_CLOCK_MARKER.
     let started = Instant::now();
 
+    // Disconnect cancellation: while the query executes, a watcher peeks
+    // the socket (without consuming pipelined bytes). EOF means the
+    // client is gone — the cleaning loop observes the token at its next
+    // batch boundary and returns a degraded `cancelled` answer instead
+    // of burning oracle budget for nobody.
+    let token = CancelToken::new();
+    session.set_cancel_token(Some(token.clone()));
+    let done = Arc::new(AtomicBool::new(false));
+    if let Ok(peer) = stream.try_clone() {
+        let token = token.clone();
+        let done = Arc::clone(&done);
+        let tick = shared.cfg.read_poll;
+        // Detached on purpose: joining would add up to one poll tick of
+        // latency per query. The thread exits within a tick of `done`.
+        thread::spawn(move || {
+            let mut probe = [0u8; 1];
+            while !done.load(Ordering::SeqCst) {
+                match peer.peek(&mut probe) {
+                    Ok(0) => {
+                        token.cancel();
+                        break;
+                    }
+                    // Pipelined bytes waiting: the peer is alive.
+                    Ok(_) => thread::sleep(tick),
+                    Err(e) => match e.kind() {
+                        // The shared SO_RCVTIMEO makes peek a poll tick.
+                        io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted => {}
+                        _ => {
+                            token.cancel();
+                            break;
+                        }
+                    },
+                }
+            }
+        });
+    }
+
     let response = match session.execute(text) {
         Ok(output) => {
-            if let Some(cleaned) = cleaned_of(&output) {
-                shared
-                    .metrics
-                    .cleaned_frames
-                    .fetch_add(cleaned as u64, Ordering::Relaxed);
+            if let Some(stats) = stats_of(&output) {
+                record_query_stats(&shared.metrics, stats);
             }
             Response::Answer {
                 id,
@@ -453,6 +558,9 @@ fn serve_query(
             }
         }
     };
+    done.store(true, Ordering::SeqCst);
+    session.set_cancel_token(None);
+    shared.inflight.fetch_sub(1, Ordering::SeqCst);
 
     // The query is answered the moment a response exists — delivery
     // failure (peer gone, write timeout) is accounted separately and
@@ -484,10 +592,24 @@ fn serve_admin(
         .fetch_add(1, Ordering::Relaxed);
     let normalized = command.trim().trim_end_matches(';').trim().to_uppercase();
     let response = match normalized.as_str() {
-        "SHOW SESSIONS" => Response::Message {
-            id,
-            text: shared.registry.render(),
-        },
+        "SHOW SESSIONS" => {
+            let cfg = &shared.cfg;
+            let mut text = shared.registry.render();
+            text.push_str(&format!(
+                "keep-alive: max_queries_per_connection={}, idle_timeout={}\n",
+                cfg.max_queries_per_connection
+                    .map_or("unlimited".into(), |n| n.to_string()),
+                cfg.idle_timeout
+                    .map_or("unlimited".into(), |d| format!("{}ms", d.as_millis())),
+            ));
+            text.push_str(&format!(
+                "admission: max_inflight_queries={}, inflight={}\n",
+                cfg.max_inflight_queries
+                    .map_or("unlimited".into(), |n| n.to_string()),
+                shared.inflight.load(Ordering::SeqCst),
+            ));
+            Response::Message { id, text }
+        }
         "SHOW CACHES" => Response::Message {
             id,
             text: shared.cache.render(),
@@ -560,12 +682,30 @@ fn write_response(
     }
 }
 
-fn cleaned_of(output: &Output) -> Option<usize> {
+fn stats_of(output: &Output) -> Option<&ExecStats> {
     match output {
-        Output::Rows(q) => q.stats.cleaned,
-        Output::Skyline(s) => s.stats.cleaned,
-        Output::Stream(s) => s.stats.cleaned,
+        Output::Rows(q) => Some(&q.stats),
+        Output::Skyline(s) => Some(&s.stats),
+        Output::Stream(s) => Some(&s.stats),
         Output::Message(_) => None,
+    }
+}
+
+/// Folds one answered query's execution stats into the daemon counters.
+fn record_query_stats(metrics: &Metrics, stats: &ExecStats) {
+    if let Some(cleaned) = stats.cleaned {
+        metrics
+            .cleaned_frames
+            .fetch_add(cleaned as u64, Ordering::Relaxed);
+    }
+    if stats.termination.is_some_and(|t| t.is_degraded()) {
+        metrics.degraded_answers.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(retries) = stats.oracle_retries {
+        metrics.oracle_retries.fetch_add(retries, Ordering::Relaxed);
+    }
+    if let Some(trips) = stats.breaker_trips {
+        metrics.breaker_trips.fetch_add(trips, Ordering::Relaxed);
     }
 }
 
