@@ -1,0 +1,420 @@
+//! `cargo lint --json` output and the `lint_baseline.json` ratchet.
+//!
+//! The repo commits a baseline of known findings aggregated by
+//! `(file, rule)` count. A ratchet run (`--baseline <path>`) fails on:
+//!
+//! * a **new** finding — a `(file, rule)` pair whose current count
+//!   exceeds its baselined count (including pairs absent from the
+//!   baseline), and
+//! * a **stale** baseline — a baselined pair whose current count is
+//!   lower (the fix must be banked by regenerating the baseline with
+//!   `--update-baseline`, so the ratchet can never loosen silently).
+//!
+//! Counts rather than line numbers keep the baseline stable under
+//! unrelated edits above a finding; a finding moving between files or
+//! changing rule still trips the ratchet.
+//!
+//! Everything here is hand-rolled (the build env is offline, the crate
+//! has no deps): a minimal JSON value parser — strict enough for the
+//! two documents this tool itself emits — and deterministic renderers.
+//! `--json` output is sorted by `(file, line, rule)` and
+//! byte-reproducible for a given workspace state.
+
+use crate::{Diagnostic, Report};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema version stamped into both documents.
+pub const VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape(s, &mut out);
+    out.push('"');
+    out
+}
+
+/// The `--json` report document (see `docs/LINTING.md` for the schema).
+pub fn render_report(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {VERSION},");
+    out.push_str("  \"summary\": {\n");
+    let _ = writeln!(out, "    \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "    \"findings\": {},", report.diagnostics.len());
+    let _ = writeln!(out, "    \"panic_sites\": {},", report.panic_sites);
+    let _ = writeln!(out, "    \"panic_budget\": {}", report.panic_budget);
+    out.push_str("  },\n");
+    out.push_str("  \"findings\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            quoted(&d.file),
+            d.line,
+            quoted(d.rule),
+            quoted(&d.message)
+        );
+    }
+    out.push_str(if report.diagnostics.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+/// Aggregates diagnostics into baseline form: `(file, rule) → count`.
+pub fn aggregate(diagnostics: &[Diagnostic]) -> BTreeMap<(String, String), usize> {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for d in diagnostics {
+        *counts
+            .entry((d.file.clone(), d.rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// The committed `lint_baseline.json` document.
+pub fn render_baseline(diagnostics: &[Diagnostic]) -> String {
+    let counts = aggregate(diagnostics);
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"version\": {VERSION},");
+    out.push_str("  \"findings\": [");
+    for (i, ((file, rule), count)) in counts.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"file\": {}, \"rule\": {}, \"count\": {}}}",
+            quoted(file),
+            quoted(rule),
+            count
+        );
+    }
+    out.push_str(if counts.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed baseline: `(file, rule) → count`.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let (value, rest) = Json::parse(text.trim())?;
+        if !rest.trim().is_empty() {
+            return Err("trailing data after JSON document".into());
+        }
+        let Json::Object(fields) = value else {
+            return Err("baseline root must be an object".into());
+        };
+        let version = fields
+            .iter()
+            .find(|(k, _)| k == "version")
+            .ok_or("baseline missing `version`")?;
+        match version.1 {
+            Json::Number(v) if v == VERSION => {}
+            _ => return Err(format!("unsupported baseline version (want {VERSION})")),
+        }
+        let findings = fields
+            .iter()
+            .find(|(k, _)| k == "findings")
+            .ok_or("baseline missing `findings`")?;
+        let Json::Array(items) = &findings.1 else {
+            return Err("`findings` must be an array".into());
+        };
+        let mut entries = BTreeMap::new();
+        for item in items {
+            let Json::Object(f) = item else {
+                return Err("each finding must be an object".into());
+            };
+            let get = |name: &str| f.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let (Some(Json::String(file)), Some(Json::String(rule)), Some(Json::Number(count))) =
+                (get("file"), get("rule"), get("count"))
+            else {
+                return Err("finding needs string `file`, string `rule`, number `count`".into());
+            };
+            let prev = entries.insert((file.clone(), rule.clone()), *count as usize);
+            if prev.is_some() {
+                return Err(format!("duplicate baseline entry for {file} / {rule}"));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// One ratchet violation, pre-formatted for display.
+pub fn diff(current: &[Diagnostic], baseline: &Baseline) -> Vec<String> {
+    let counts = aggregate(current);
+    let mut problems = Vec::new();
+    for ((file, rule), &n) in &counts {
+        let base = baseline
+            .entries
+            .get(&(file.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n > base {
+            problems.push(format!(
+                "new finding: {file} [{rule}] — {n} now vs {base} baselined"
+            ));
+        }
+    }
+    for ((file, rule), &base) in &baseline.entries {
+        let n = counts
+            .get(&(file.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n < base {
+            problems.push(format!(
+                "stale baseline: {file} [{rule}] — {n} now vs {base} baselined; \
+                 regenerate with --update-baseline to bank the fix"
+            ));
+        }
+    }
+    problems.sort();
+    problems
+}
+
+/// Minimal JSON value — just what the two documents above need.
+#[derive(Debug, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(u64),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    /// Parses one value off the front of `s`; returns it and the rest.
+    fn parse(s: &str) -> Result<(Json, &str), String> {
+        let s = s.trim_start();
+        let mut chars = s.chars();
+        match chars.next() {
+            Some('{') => {
+                let mut rest = s[1..].trim_start();
+                let mut fields = Vec::new();
+                if let Some(r) = rest.strip_prefix('}') {
+                    return Ok((Json::Object(fields), r));
+                }
+                loop {
+                    let (key, r) = Json::parse(rest)?;
+                    let Json::String(key) = key else {
+                        return Err("object key must be a string".into());
+                    };
+                    let r = r
+                        .trim_start()
+                        .strip_prefix(':')
+                        .ok_or("expected `:` after object key")?;
+                    let (val, r) = Json::parse(r)?;
+                    fields.push((key, val));
+                    let r = r.trim_start();
+                    if let Some(r) = r.strip_prefix(',') {
+                        rest = r;
+                    } else if let Some(r) = r.strip_prefix('}') {
+                        return Ok((Json::Object(fields), r));
+                    } else {
+                        return Err("expected `,` or `}` in object".into());
+                    }
+                }
+            }
+            Some('[') => {
+                let mut rest = s[1..].trim_start();
+                let mut items = Vec::new();
+                if let Some(r) = rest.strip_prefix(']') {
+                    return Ok((Json::Array(items), r));
+                }
+                loop {
+                    let (val, r) = Json::parse(rest)?;
+                    items.push(val);
+                    let r = r.trim_start();
+                    if let Some(r) = r.strip_prefix(',') {
+                        rest = r;
+                    } else if let Some(r) = r.strip_prefix(']') {
+                        return Ok((Json::Array(items), r));
+                    } else {
+                        return Err("expected `,` or `]` in array".into());
+                    }
+                }
+            }
+            Some('"') => {
+                let mut out = String::new();
+                let mut iter = s.char_indices().skip(1);
+                while let Some((i, c)) = iter.next() {
+                    match c {
+                        '"' => return Ok((Json::String(out), &s[i + 1..])),
+                        '\\' => match iter.next().map(|(_, e)| e) {
+                            Some('"') => out.push('"'),
+                            Some('\\') => out.push('\\'),
+                            Some('/') => out.push('/'),
+                            Some('n') => out.push('\n'),
+                            Some('r') => out.push('\r'),
+                            Some('t') => out.push('\t'),
+                            Some('u') => {
+                                let mut code = 0u32;
+                                for _ in 0..4 {
+                                    let d = iter
+                                        .next()
+                                        .and_then(|(_, h)| h.to_digit(16))
+                                        .ok_or("bad \\u escape")?;
+                                    code = code * 16 + d;
+                                }
+                                out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                            }
+                            _ => return Err("unsupported string escape".into()),
+                        },
+                        c => out.push(c),
+                    }
+                }
+                Err("unterminated string".into())
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+                let n: u64 = s[..end].parse().map_err(|_| "bad number".to_string())?;
+                Ok((Json::Number(n), &s[end..]))
+            }
+            _ if s.starts_with("true") => Ok((Json::Bool(true), &s[4..])),
+            _ if s.starts_with("false") => Ok((Json::Bool(false), &s[5..])),
+            _ if s.starts_with("null") => Ok((Json::Null, &s[4..])),
+            _ => Err("unexpected JSON token".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: usize, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            message: format!("msg with \"quotes\" and \\ backslash at {line}"),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let diags = vec![
+            diag("a.rs", 3, "det-taint"),
+            diag("a.rs", 9, "det-taint"),
+            diag("b.rs", 1, "lock-order-cycle"),
+        ];
+        let text = render_baseline(&diags);
+        let parsed = Baseline::parse(&text).expect("parses");
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.entries[&("a.rs".into(), "det-taint".into())], 2);
+        assert_eq!(
+            parsed.entries[&("b.rs".into(), "lock-order-cycle".into())],
+            1
+        );
+        assert!(diff(&diags, &parsed).is_empty());
+    }
+
+    #[test]
+    fn empty_baseline_roundtrip() {
+        let text = render_baseline(&[]);
+        let parsed = Baseline::parse(&text).expect("parses");
+        assert!(parsed.entries.is_empty());
+        assert!(diff(&[], &parsed).is_empty());
+    }
+
+    #[test]
+    fn new_finding_trips_ratchet() {
+        let baseline =
+            Baseline::parse(&render_baseline(&[diag("a.rs", 3, "det-taint")])).expect("parses");
+        let now = vec![diag("a.rs", 3, "det-taint"), diag("c.rs", 7, "det-taint")];
+        let problems = diff(&now, &baseline);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("new finding"), "{problems:?}");
+        assert!(problems[0].contains("c.rs"), "{problems:?}");
+    }
+
+    #[test]
+    fn count_increase_trips_ratchet() {
+        let baseline =
+            Baseline::parse(&render_baseline(&[diag("a.rs", 3, "det-taint")])).expect("parses");
+        let now = vec![diag("a.rs", 3, "det-taint"), diag("a.rs", 8, "det-taint")];
+        let problems = diff(&now, &baseline);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("2 now vs 1 baselined"), "{problems:?}");
+    }
+
+    #[test]
+    fn stale_baseline_trips_ratchet() {
+        let baseline =
+            Baseline::parse(&render_baseline(&[diag("a.rs", 3, "det-taint")])).expect("parses");
+        let problems = diff(&[], &baseline);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("stale baseline"), "{problems:?}");
+    }
+
+    #[test]
+    fn report_json_is_stable_and_escaped() {
+        let report = Report {
+            diagnostics: vec![diag("a.rs", 3, "det-taint")],
+            files_scanned: 10,
+            panic_sites: 2,
+            panic_budget: 5,
+            panic_site_allows: 2,
+        };
+        let a = render_report(&report);
+        let b = render_report(&report);
+        assert_eq!(a, b);
+        assert!(a.contains("\"version\": 1"));
+        assert!(a.contains("\\\"quotes\\\""));
+        assert!(a.contains("\"files_scanned\": 10"));
+        // The findings array must itself be valid JSON for the parser.
+        let (v, rest) = Json::parse(&a).expect("report is valid JSON");
+        assert!(rest.trim().is_empty());
+        let Json::Object(fields) = v else {
+            panic!("object")
+        };
+        assert!(fields.iter().any(|(k, _)| k == "findings"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"version\": 99, \"findings\": []}").is_err());
+        assert!(Baseline::parse(
+            "{\"version\": 1, \"findings\": [{\"file\": \"a\", \"rule\": \"r\", \"count\": 1}, \
+             {\"file\": \"a\", \"rule\": \"r\", \"count\": 2}]}"
+        )
+        .is_err());
+    }
+}

@@ -118,6 +118,13 @@ impl Lexer<'_> {
                     let kind = self.char_or_lifetime();
                     self.push(start, line, kind);
                 }
+                // Byte-char literal `b'x'` — one Char token, so the `b`
+                // never leaks into the stream as a stray identifier.
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    let kind = self.char_or_lifetime();
+                    self.push(start, line, kind);
+                }
                 b'r' | b'b' if self.raw_or_byte_string() => {
                     self.push(start, line, Kind::Str);
                 }
@@ -368,6 +375,58 @@ mod tests {
         assert_eq!(toks[1].kind, Kind::BlockComment);
         assert!(toks[1].text.ends_with("still outer */"));
         assert!(toks[2].is_ident("fn"));
+    }
+
+    #[test]
+    fn byte_char_literals_are_single_tokens() {
+        // `b'x'` must not leak a stray `b` identifier into the stream —
+        // call-graph construction matches `ident (` patterns and a split
+        // `b` + char would desynchronize it.
+        let toks = kinds(r"b'x' b'\n' b'(' f(b',')");
+        assert_eq!(toks[0], (Kind::Char, r"b'x'".into()));
+        assert_eq!(toks[1], (Kind::Char, r"b'\n'".into()));
+        assert_eq!(toks[2], (Kind::Char, "b'('".into()));
+        // …and the surrounding call structure stays intact.
+        assert_eq!(toks[3], (Kind::Ident, "f".into()));
+        assert_eq!(toks[4], (Kind::Punct, "(".into()));
+        assert_eq!(toks[5], (Kind::Char, "b','".into()));
+        assert_eq!(toks[6], (Kind::Punct, ")".into()));
+    }
+
+    #[test]
+    fn multiline_raw_strings_do_not_swallow_code() {
+        // A raw string spanning lines (fixture-style embedded source) must
+        // end exactly at its hash fence, leaving the following fn visible.
+        let src = "let s = r##\"fn fake() { a\"# }\"##;\nfn real() {}";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("fake")));
+        let real = toks.iter().position(|t| t.is_ident("real")).unwrap();
+        assert!(toks[real - 1].is_ident("fn"));
+        assert_eq!(toks[real].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comment_then_fn_signature() {
+        // Graph construction scans `fn name ( … )` sequences; a nested
+        // block comment between items must not hide or merge them.
+        let src = "fn a() {}\n/* dead: /* fn b() {} */ end */\nfn c() {}";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("a")));
+        assert!(!toks.iter().any(|t| t.is_ident("b")));
+        assert_eq!(toks.iter().find(|t| t.is_ident("c")).unwrap().line, 3);
+    }
+
+    #[test]
+    fn lifetime_annotated_fn_signature() {
+        // `fn f<'a>(x: &'a str) -> &'a str` — lifetimes must lex as
+        // Lifetime tokens (never Char), keeping the `->` return arrow and
+        // parameter parens aligned for signature parsing.
+        let toks = lex("fn longest<'a>(x: &'a str, y: &'a str) -> &'a str { x }");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Lifetime).count(), 4);
+        assert!(!toks.iter().any(|t| t.kind == Kind::Char));
+        let arrow = toks.iter().position(|t| t.is_punct('-')).unwrap();
+        assert!(toks[arrow + 1].is_punct('>'));
+        assert!(toks[arrow + 2].is_punct('&'));
     }
 
     #[test]

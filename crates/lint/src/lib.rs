@@ -17,7 +17,20 @@
 //! * **panic-policy** — budgeted burn-down of `unwrap()`/`expect()` in
 //!   the core/evql library crates ([`rules::panic_policy`]);
 //! * **vendor-guard** — every dependency resolves to a local path, never
-//!   a registry or git source ([`rules::vendor_guard`]).
+//!   a registry or git source ([`rules::vendor_guard`]);
+//! * **lock-order** — static deadlock detection: `Mutex`/`RwLock`
+//!   acquisition order cycles across helper-call boundaries in the
+//!   serve/evql crates ([`rules::lock_order`]);
+//! * **det-taint** — wall-clock taint propagated through return values
+//!   along the call graph into canonical/deterministic output paths
+//!   ([`rules::taint`]);
+//! * **budget-discipline** — raw oracle `score_batch` calls in core must
+//!   sit behind the `QueryBudget`/`RetryingOracle` layer
+//!   ([`rules::budget_discipline`]).
+//!
+//! The last three run on a workspace-wide call graph ([`graph`]); their
+//! findings ratchet through a committed `lint_baseline.json`
+//! ([`baseline`]).
 //!
 //! The crate has **no dependencies** (the build env is offline) and
 //! reconstructs just enough structure from a hand-rolled lexer
@@ -26,6 +39,8 @@
 
 #![deny(unsafe_code)]
 
+pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
 pub mod source;
@@ -138,6 +153,12 @@ pub fn lint_root(root: &Path) -> Report {
         panic_site_allows += allows;
         check_allows(ctx, &mut diagnostics);
     }
+
+    // Pass 3: call-graph rules — workspace-wide, over every ctx at once.
+    let g = graph::Graph::build(&ctxs);
+    rules::lock_order::check(&g, &mut diagnostics);
+    rules::taint::check(&g, &mut diagnostics);
+    rules::budget_discipline::check(&g, &mut diagnostics);
 
     // Workspace-level rules.
     rules::env_registry::check(root, &var_sites, &mut diagnostics);

@@ -1,0 +1,141 @@
+//! Rule **budget-discipline**: every oracle invocation in `crates/core`
+//! must be governed by the budget/retry layer.
+//!
+//! A *site* is a raw `.score_batch(` / `.try_score_batch(` method call
+//! in `crates/core/src` (non-test). A fn is a *gate* when its own body
+//! evidently threads the budget layer — it names `QueryBudget` or
+//! `RetryingOracle`, mentions a `*budget*` binding, or enforces the
+//! cap idents `max_cleanings` / `max_oracle_calls` — or when it is a
+//! method of those types. A site is fine when its containing fn is a
+//! gate, or when every path from public API down to it passes through a
+//! gate. It is a diagnostic when some `pub` non-gate fn reaches the
+//! site without crossing a gate: callers can then spend oracle calls
+//! the budget never sees.
+//!
+//! The check is a reverse reachability walk from the site's containing
+//! fn up through the call graph, stopping at gates and skipping test
+//! fns; any `pub` fn in that upward closure is an ungoverned entry
+//! point, and the first one found (deterministic order) is named in the
+//! message.
+
+use crate::graph::Graph;
+use crate::lexer::Kind;
+use crate::Diagnostic;
+use std::collections::BTreeSet;
+
+pub const RULE: &str = "budget-discipline";
+
+const ORACLE_CALLS: &[&str] = &["score_batch", "try_score_batch"];
+const GATE_TYPES: &[&str] = &["QueryBudget", "RetryingOracle"];
+
+fn site_scope(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/")
+}
+
+pub fn check(g: &Graph, out: &mut Vec<Diagnostic>) {
+    // Gate classification, computed once.
+    let gate: Vec<bool> = (0..g.fns.len()).map(|di| is_gate(g, di)).collect();
+    let mut found: Vec<Diagnostic> = Vec::new();
+
+    for (ci, call) in g.calls.iter().enumerate() {
+        if !ORACLE_CALLS.contains(&call.callee.as_str()) || !call.is_method {
+            continue;
+        }
+        let caller = call.caller;
+        let ctx = g.ctx(caller);
+        if !site_scope(&ctx.rel) || g.fns[caller].is_test {
+            continue;
+        }
+        if ctx.allowed(RULE, call.line) {
+            continue;
+        }
+        if gate[caller] {
+            continue;
+        }
+        // Reverse reachability from the containing fn, stopping at
+        // gates; note `ci` is unused past here — the site's identity is
+        // (file, line) for reporting. When the containing fn is itself
+        // an ungoverned pub entry point, name it directly — that is the
+        // closest actionable surface.
+        let _ = ci;
+        let exposed: Option<usize> = if g.fns[caller].is_pub {
+            Some(caller)
+        } else {
+            let mut visited: BTreeSet<usize> = BTreeSet::new();
+            let mut queue = vec![caller];
+            let mut best: Option<usize> = None;
+            while let Some(di) = queue.pop() {
+                if !visited.insert(di) {
+                    continue;
+                }
+                let d = &g.fns[di];
+                if d.is_test || gate[di] {
+                    continue;
+                }
+                if d.is_pub && best.is_none_or(|e| better(g, di, e)) {
+                    best = Some(di);
+                }
+                for &up in &g.callers[di] {
+                    queue.push(up);
+                }
+            }
+            best
+        };
+        if let Some(e) = exposed {
+            let ed = &g.fns[e];
+            found.push(Diagnostic {
+                file: ctx.rel.clone(),
+                line: call.line,
+                rule: RULE,
+                message: format!(
+                    "raw `{}` call reachable from pub fn `{}` ({}:{}) without passing \
+                     the QueryBudget/RetryingOracle layer — oracle spend is invisible \
+                     to the budget here",
+                    call.callee,
+                    ed.name,
+                    g.ctx(e).rel,
+                    ed.line
+                ),
+            });
+        }
+    }
+    found.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    found.dedup_by(|a, b| a.file == b.file && a.line == b.line);
+    out.append(&mut found);
+}
+
+/// Deterministic "first" pub fn: lowest (file, line).
+fn better(g: &Graph, a: usize, b: usize) -> bool {
+    (&g.ctx(a).rel, g.fns[a].line) < (&g.ctx(b).rel, g.fns[b].line)
+}
+
+fn is_gate(g: &Graph, di: usize) -> bool {
+    let d = &g.fns[di];
+    if d.impl_type
+        .as_deref()
+        .is_some_and(|t| GATE_TYPES.contains(&t))
+    {
+        return true;
+    }
+    if d.body.is_none() {
+        return false;
+    }
+    let ctx = g.ctx(di);
+    for (s, e) in g.own_ranges(di) {
+        let hi = e.min(ctx.toks.len().saturating_sub(1));
+        for i in s..=hi {
+            let t = &ctx.toks[i];
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            if GATE_TYPES.contains(&t.text.as_str())
+                || t.text == "max_cleanings"
+                || t.text == "max_oracle_calls"
+                || t.text.to_ascii_lowercase().contains("budget")
+            {
+                return true;
+            }
+        }
+    }
+    false
+}

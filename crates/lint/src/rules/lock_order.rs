@@ -1,0 +1,523 @@
+//! Rule **lock-order-cycle**: static deadlock detection for the serve
+//! daemon. `Mutex`/`RwLock` acquisition sites in `crates/serve` and
+//! `crates/evql` are indexed into *lock classes* (by declared binding or
+//! field name), held-guard spans are derived from `let`-bound guards, and
+//! held-lock sets propagate through the call graph. Any cycle in the
+//! resulting acquired-while-holding order — including a self-edge, which
+//! is a re-entrant acquisition of a non-reentrant `std::sync` lock — is a
+//! diagnostic.
+//!
+//! Precision contract (see `docs/LINTING.md`):
+//!
+//! * a guard span starts **after** the `let` statement that binds it and
+//!   ends at the enclosing block's `}`, truncated at `drop(guard)` or at
+//!   a shadowing re-`let` of the same name — temporaries
+//!   (`m.lock().unwrap().insert(…)`) hold no span;
+//! * classes are keyed by declared name (`sessions: Mutex<…>`,
+//!   `state: Mutex<…>`, `let rx = Arc::new(Mutex::new(…))`), so two
+//!   same-named locks in different modules would be conflated — keep lock
+//!   field names distinct, which the workspace already does;
+//! * held sets flow only through *precise* call edges (bare calls, path
+//!   calls, and `self.method()` — an arbitrary-receiver `x.method()`
+//!   resolves by name alone and would wire unrelated impls together);
+//!   a workspace helper returning a `MutexGuard`/`RwLock*Guard`
+//!   (`SharedCache::lock`) is a proxy acquisition of whatever it locks.
+//!
+//! Suppression: `lint:allow(lock-order-cycle)` on an edge's acquisition
+//! line removes that edge from the order graph.
+
+use crate::graph::Graph;
+use crate::lexer::Kind;
+use crate::source::FileCtx;
+use crate::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub const RULE: &str = "lock-order-cycle";
+
+/// Files whose acquisitions participate in the order graph.
+fn in_scope(rel: &str) -> bool {
+    rel.starts_with("crates/serve/src/") || rel.starts_with("crates/evql/src/")
+}
+
+const GUARD_TYPES: &[&str] = &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One direct acquisition: `<class>.lock()` / `.read()` / `.write()`.
+struct Acq {
+    class: String,
+    /// Token index of the class ident.
+    tok: usize,
+    line: usize,
+}
+
+/// One derived acquired-while-holding edge, with provenance.
+#[derive(Debug)]
+struct Edge {
+    held: String,
+    acquired: String,
+    file: String,
+    line: usize,
+}
+
+pub fn check(g: &Graph, out: &mut Vec<Diagnostic>) {
+    let classes = collect_classes(g);
+    if classes.is_empty() {
+        return;
+    }
+
+    // Direct acquisitions per fn (in-scope, non-test fns only).
+    let mut direct: BTreeMap<usize, Vec<Acq>> = BTreeMap::new();
+    for (di, d) in g.fns.iter().enumerate() {
+        let ctx = g.ctx(di);
+        if d.is_test || !in_scope(&ctx.rel) {
+            continue;
+        }
+        let acqs = direct_acquisitions(g, di, &classes);
+        if !acqs.is_empty() {
+            direct.insert(di, acqs);
+        }
+    }
+
+    // Transitive acquired-classes fixpoint over precise call edges.
+    let mut trans: Vec<BTreeSet<String>> = vec![BTreeSet::new(); g.fns.len()];
+    for (&di, acqs) in &direct {
+        trans[di].extend(acqs.iter().map(|a| a.class.clone()));
+    }
+    loop {
+        let mut changed = false;
+        for di in 0..g.fns.len() {
+            if g.fns[di].is_test {
+                continue;
+            }
+            let mut add: Vec<String> = Vec::new();
+            for &(ci, callee) in &g.callees[di] {
+                if !precise(g, ci) || g.fns[callee].is_test {
+                    continue;
+                }
+                for c in &trans[callee] {
+                    if !trans[di].contains(c) {
+                        add.push(c.clone());
+                    }
+                }
+            }
+            if !add.is_empty() {
+                trans[di].extend(add);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Guard spans → edges.
+    let mut edges: Vec<Edge> = Vec::new();
+    for (di, d) in g.fns.iter().enumerate() {
+        let ctx = g.ctx(di);
+        if d.is_test || !in_scope(&ctx.rel) || d.body.is_none() {
+            continue;
+        }
+        let empty = Vec::new();
+        let acqs = direct.get(&di).unwrap_or(&empty);
+        // Span-creating acquisitions: let-bound direct acquisitions plus
+        // let-bound calls to guard-returning workspace fns.
+        let mut held: Vec<(BTreeSet<String>, usize, Option<String>)> = Vec::new();
+        for a in acqs {
+            if let Some(binding) = let_binding(ctx, a.tok) {
+                held.push((BTreeSet::from([a.class.clone()]), a.tok, binding));
+            }
+        }
+        for &(ci, callee) in &g.callees[di] {
+            if !precise(g, ci) || !returns_guard(g, callee) || trans[callee].is_empty() {
+                continue;
+            }
+            let tok = g.calls[ci].tok;
+            if let Some(binding) = let_binding(ctx, tok) {
+                held.push((trans[callee].clone(), tok, binding));
+            }
+        }
+        for (held_classes, acq_tok, binding) in held {
+            let Some(span) = guard_span(ctx, d.body.expect("checked"), acq_tok, &binding) else {
+                continue;
+            };
+            // Acquisitions and lock-acquiring calls inside the span.
+            for a in acqs {
+                if a.tok <= span.0 || a.tok > span.1 {
+                    continue;
+                }
+                for h in &held_classes {
+                    edges.push(Edge {
+                        held: h.clone(),
+                        acquired: a.class.clone(),
+                        file: ctx.rel.clone(),
+                        line: a.line,
+                    });
+                }
+            }
+            for &(ci, callee) in &g.callees[di] {
+                let call = &g.calls[ci];
+                if call.tok <= span.0 || call.tok > span.1 {
+                    continue;
+                }
+                if !precise(g, ci) || g.fns[callee].is_test {
+                    continue;
+                }
+                for acquired in &trans[callee] {
+                    for h in &held_classes {
+                        edges.push(Edge {
+                            held: h.clone(),
+                            acquired: acquired.clone(),
+                            file: ctx.rel.clone(),
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-line suppression, then dedupe to one provenance per (held,
+    // acquired) pair — the first in (file, line) order.
+    let mut by_pair: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for e in edges {
+        let allowed = g
+            .ctxs
+            .iter()
+            .find(|c| c.rel == e.file)
+            .is_some_and(|c| c.allowed(RULE, e.line));
+        if allowed {
+            continue;
+        }
+        let key = (e.held, e.acquired);
+        let prov = (e.file, e.line);
+        match by_pair.get(&key) {
+            Some(p) if *p <= prov => {}
+            _ => {
+                by_pair.insert(key, prov);
+            }
+        }
+    }
+
+    // Cycle detection: SCCs of the class digraph; any SCC with more than
+    // one class — or a self-edge — is a deadlock-capable order.
+    let adj: BTreeMap<&str, BTreeSet<&str>> = by_pair.keys().fold(
+        BTreeMap::new(),
+        |mut m: BTreeMap<&str, BTreeSet<&str>>, (a, b)| {
+            m.entry(a).or_default().insert(b);
+            m.entry(b).or_default();
+            m
+        },
+    );
+    for scc in sccs(&adj) {
+        let members: BTreeSet<&str> = scc.iter().copied().collect();
+        let internal: Vec<_> = by_pair
+            .iter()
+            .filter(|((a, b), _)| members.contains(a.as_str()) && members.contains(b.as_str()))
+            .collect();
+        let cyclic = members.len() > 1 || internal.iter().any(|((a, b), _)| a == b);
+        if !cyclic || internal.is_empty() {
+            continue;
+        }
+        let mut detail: Vec<String> = internal
+            .iter()
+            .map(|((a, b), (f, l))| format!("{f}:{l} acquires `{b}` while `{a}` is held"))
+            .collect();
+        detail.sort();
+        let (anchor_file, anchor_line) = internal
+            .iter()
+            .map(|(_, p)| (*p).clone())
+            .min()
+            .expect("non-empty");
+        let names: Vec<&str> = members.iter().copied().collect();
+        out.push(Diagnostic {
+            file: anchor_file,
+            line: anchor_line,
+            rule: RULE,
+            message: format!(
+                "lock-order cycle among {{{}}} — two threads interleaving these \
+                 acquisition orders can deadlock: {}",
+                names.join(", "),
+                detail.join("; ")
+            ),
+        });
+    }
+}
+
+/// A call edge trusted enough to carry held-lock sets: bare or
+/// path-qualified calls, or `self.method()` (see module docs).
+fn precise(g: &Graph, ci: usize) -> bool {
+    let c = &g.calls[ci];
+    !c.is_method || c.self_recv
+}
+
+/// Whether a fn's declared return type names a guard.
+fn returns_guard(g: &Graph, def: usize) -> bool {
+    let d = &g.fns[def];
+    if !d.has_ret {
+        return false;
+    }
+    let ctx = g.ctx(def);
+    (d.ret.0..=d.ret.1.min(ctx.toks.len().saturating_sub(1)))
+        .any(|i| GUARD_TYPES.contains(&ctx.toks[i].text.as_str()))
+}
+
+/// Lock classes: names declared as `Mutex`/`RwLock` in in-scope files —
+/// `name: Mutex<…>` fields/params and `name = [Arc::new(]Mutex::new(…)`
+/// bindings.
+fn collect_classes(g: &Graph) -> BTreeSet<String> {
+    let mut classes = BTreeSet::new();
+    for ctx in g.ctxs {
+        if !in_scope(&ctx.rel) {
+            continue;
+        }
+        for (i, t) in ctx.toks.iter().enumerate() {
+            if !(t.is_ident("Mutex") || t.is_ident("RwLock")) {
+                continue;
+            }
+            if let Some(name) = declared_name(ctx, i) {
+                classes.insert(name);
+            }
+        }
+    }
+    classes
+}
+
+/// Walks back from a `Mutex`/`RwLock` ident over wrapper tokens —
+/// `std :: sync ::` path prefixes, `Arc :: new (` constructors, `&`, `<`
+/// — to the declaring `name :` or `name =` separator.
+fn declared_name(ctx: &FileCtx, mutex_tok: usize) -> Option<String> {
+    let mut p = mutex_tok.checked_sub(1).and_then(|p| ctx.prev_code(p))?;
+    for _ in 0..16 {
+        let t = &ctx.toks[p];
+        if t.is_punct(':') {
+            // `::` path separator (second ':' right before) or the
+            // declaring annotation `name : …`.
+            let before = p.checked_sub(1).and_then(|q| ctx.prev_code(q))?;
+            if ctx.toks[before].is_punct(':') {
+                // path `seg :: …` — skip both colons and the segment
+                let seg = before.checked_sub(1).and_then(|q| ctx.prev_code(q))?;
+                if ctx.toks[seg].kind != Kind::Ident {
+                    return None;
+                }
+                p = seg.checked_sub(1).and_then(|q| ctx.prev_code(q))?;
+                continue;
+            }
+            let name = &ctx.toks[before];
+            return (name.kind == Kind::Ident && name.text != "mut").then(|| name.text.clone());
+        }
+        if t.is_punct('=') {
+            let before = p.checked_sub(1).and_then(|q| ctx.prev_code(q))?;
+            let name = &ctx.toks[before];
+            return (name.kind == Kind::Ident && name.text != "mut").then(|| name.text.clone());
+        }
+        if t.kind == Kind::Ident || t.is_punct('(') || t.is_punct('<') || t.is_punct('&') {
+            p = p.checked_sub(1).and_then(|q| ctx.prev_code(q))?;
+            continue;
+        }
+        return None;
+    }
+    None
+}
+
+/// Direct `<class>.lock()/.read()/.write()` sites in `def`'s own tokens.
+fn direct_acquisitions(g: &Graph, def: usize, classes: &BTreeSet<String>) -> Vec<Acq> {
+    let ctx = g.ctx(def);
+    let mut out = Vec::new();
+    for (s, e) in g.own_ranges(def) {
+        for i in s..=e.min(ctx.toks.len().saturating_sub(1)) {
+            let t = &ctx.toks[i];
+            if t.kind != Kind::Ident || !classes.contains(&t.text) {
+                continue;
+            }
+            let Some(dot) = ctx.next_code(i + 1).filter(|&d| ctx.toks[d].is_punct('.')) else {
+                continue;
+            };
+            let Some(m) = ctx
+                .next_code(dot + 1)
+                .filter(|&m| ACQUIRE_METHODS.contains(&ctx.toks[m].text.as_str()))
+            else {
+                continue;
+            };
+            if ctx
+                .next_code(m + 1)
+                .is_some_and(|o| ctx.toks[o].is_punct('('))
+            {
+                out.push(Acq {
+                    class: t.text.clone(),
+                    tok: i,
+                    line: t.line,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// When the statement containing `tok` is a `let` binding, its bound
+/// name: `Some(Some(name))` for `let [mut] name = …`, `Some(None)` for a
+/// destructuring `let`, `None` when the acquisition is a temporary.
+fn let_binding(ctx: &FileCtx, tok: usize) -> Option<Option<String>> {
+    // Statement start: the token after the previous `;`, `{` or `}`.
+    let mut i = tok;
+    let start = loop {
+        let p = i.checked_sub(1).and_then(|p| ctx.prev_code(p))?;
+        let t = &ctx.toks[p];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break ctx.next_code(p + 1)?;
+        }
+        i = p;
+    };
+    if !ctx.toks[start].is_ident("let") {
+        return None;
+    }
+    let mut n = ctx.next_code(start + 1)?;
+    if ctx.toks[n].is_ident("mut") {
+        n = ctx.next_code(n + 1)?;
+    }
+    if ctx.toks[n].kind == Kind::Ident {
+        // `let name = …` — confirm it is a plain binding, not a pattern.
+        let eq = ctx.next_code(n + 1)?;
+        if ctx.toks[eq].is_punct('=') || ctx.toks[eq].is_punct(':') {
+            return Some(Some(ctx.toks[n].text.clone()));
+        }
+    }
+    Some(None) // destructuring pattern: bound, but untrackable by name
+}
+
+/// The held span of a `let`-bound guard acquired at `acq_tok`: from the
+/// end of the binding statement to the enclosing block's `}`, truncated
+/// at `drop(name)` or a shadowing `let name`.
+fn guard_span(
+    ctx: &FileCtx,
+    body: (usize, usize),
+    acq_tok: usize,
+    binding: &Option<String>,
+) -> Option<(usize, usize)> {
+    // Statement end: first `;` at depth 0 from the acquisition on (or the
+    // enclosing `}` if the block ends first).
+    let mut depth = 0i32;
+    let mut i = acq_tok;
+    let stmt_end = loop {
+        if i > body.1 {
+            return None;
+        }
+        let t = &ctx.toks[i];
+        if !t.is_comment() {
+            if t.is_punct('(') || t.is_punct('{') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    return None; // block ended inside the statement
+                }
+            } else if t.is_punct(';') && depth <= 0 {
+                break i;
+            }
+        }
+        i += 1;
+    };
+    // Innermost block containing the acquisition.
+    let mut block_end = body.1;
+    let mut innermost_open = body.0;
+    for j in body.0..acq_tok {
+        if ctx.toks[j].is_punct('{') {
+            let close = ctx.matching_brace(j);
+            if close >= acq_tok && j >= innermost_open {
+                innermost_open = j;
+                block_end = close;
+            }
+        }
+    }
+    let mut end = block_end;
+    if let Some(name) = binding {
+        let mut j = stmt_end + 1;
+        while j < end {
+            let t = &ctx.toks[j];
+            // `drop ( name )`
+            if t.is_ident("drop") {
+                let open = ctx.next_code(j + 1).filter(|&o| ctx.toks[o].is_punct('('));
+                let arg = open.and_then(|o| ctx.next_code(o + 1));
+                if let Some(a) = arg {
+                    if ctx.toks[a].is_ident(name)
+                        && ctx
+                            .next_code(a + 1)
+                            .is_some_and(|c| ctx.toks[c].is_punct(')'))
+                    {
+                        end = j;
+                        break;
+                    }
+                }
+            }
+            // shadowing `let [mut] name`
+            if t.is_ident("let") {
+                let mut n = ctx.next_code(j + 1);
+                if n.is_some_and(|n| ctx.toks[n].is_ident("mut")) {
+                    n = ctx.next_code(n.expect("checked") + 1);
+                }
+                if n.is_some_and(|n| ctx.toks[n].is_ident(name)) {
+                    end = j;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    (stmt_end < end).then_some((stmt_end, end))
+}
+
+/// Strongly connected components (Kosaraju) of a tiny string digraph,
+/// deterministic order.
+fn sccs<'k>(adj: &BTreeMap<&'k str, BTreeSet<&'k str>>) -> Vec<Vec<&'k str>> {
+    let mut order = Vec::new();
+    let mut seen = BTreeSet::new();
+    for &n in adj.keys() {
+        dfs_order(n, adj, &mut seen, &mut order);
+    }
+    let mut radj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (&a, bs) in adj {
+        radj.entry(a).or_default();
+        for &b in bs {
+            radj.entry(b).or_default().insert(a);
+        }
+    }
+    let mut out = Vec::new();
+    let mut assigned = BTreeSet::new();
+    for &n in order.iter().rev() {
+        if assigned.contains(n) {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![n];
+        while let Some(m) = stack.pop() {
+            if !assigned.insert(m) {
+                continue;
+            }
+            comp.push(m);
+            if let Some(preds) = radj.get(m) {
+                stack.extend(preds.iter().copied());
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+fn dfs_order<'k>(
+    n: &'k str,
+    adj: &BTreeMap<&'k str, BTreeSet<&'k str>>,
+    seen: &mut BTreeSet<&'k str>,
+    order: &mut Vec<&'k str>,
+) {
+    if !seen.insert(n) {
+        return;
+    }
+    if let Some(next) = adj.get(n) {
+        for &m in next {
+            dfs_order(m, adj, seen, order);
+        }
+    }
+    order.push(n);
+}

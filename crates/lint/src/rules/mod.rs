@@ -2,9 +2,12 @@
 //! diagnostics and in `// lint:allow(<id>): <reason>` escape hatches);
 //! `docs/LINTING.md` is the human-facing catalog.
 
+pub mod budget_discipline;
 pub mod determinism;
 pub mod env_registry;
+pub mod lock_order;
 pub mod panic_policy;
+pub mod taint;
 pub mod unsafe_audit;
 pub mod vendor_guard;
 
@@ -22,4 +25,7 @@ pub const ALL_RULES: &[&str] = &[
     env_registry::DOC_STALE,
     panic_policy::RULE,
     vendor_guard::RULE,
+    lock_order::RULE,
+    taint::RULE,
+    budget_discipline::RULE,
 ];

@@ -98,6 +98,30 @@ fn vendor_guard_fixtures() {
 }
 
 #[test]
+fn lock_order_fixtures() {
+    assert_pass("lock_order");
+    // The cycle crosses a helper-call boundary (`bump_drain`): only the
+    // call-graph rule can see it.
+    assert_fail("lock_order", &["lock-order-cycle"]);
+}
+
+#[test]
+fn taint_fixtures() {
+    assert_pass("taint");
+    // An `Instant::now` laundered through two return-value hops (and a
+    // det-wallclock allow) still reaches canonical bytes.
+    assert_fail("taint", &["det-taint"]);
+}
+
+#[test]
+fn budget_fixtures() {
+    assert_pass("budget");
+    // A raw `score_batch` behind a private helper is still reachable from
+    // an ungoverned pub fn.
+    assert_fail("budget", &["budget-discipline"]);
+}
+
+#[test]
 fn allow_meta_fixtures() {
     assert_pass("allows");
     // A reason-less allow is rejected AND does not suppress its rule:

@@ -1,0 +1,15 @@
+//! Budget fixture (fail): a public entry point spends oracle calls with
+//! no budget layer anywhere on the path — the spend is invisible to
+//! `QueryBudget`.
+
+pub trait ScoringOracle {
+    fn score_batch(&self, frames: &[usize]) -> Vec<f64>;
+}
+
+fn score_all(oracle: &dyn ScoringOracle, frames: &[usize]) -> Vec<f64> {
+    oracle.score_batch(frames)
+}
+
+pub fn rank_frames(oracle: &dyn ScoringOracle, frames: &[usize]) -> Vec<f64> {
+    score_all(oracle, frames)
+}

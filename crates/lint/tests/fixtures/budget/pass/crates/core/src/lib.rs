@@ -1,0 +1,36 @@
+//! Budget fixture (pass): the only raw oracle call sits inside the
+//! budget gate, and the public surface reaches it exclusively through
+//! that gate.
+
+pub trait ScoringOracle {
+    fn score_batch(&self, frames: &[usize]) -> Vec<f64>;
+}
+
+pub struct QueryBudget {
+    remaining: usize,
+}
+
+impl QueryBudget {
+    pub fn new(remaining: usize) -> QueryBudget {
+        QueryBudget { remaining }
+    }
+
+    pub fn charge(&mut self, n: usize) -> bool {
+        if self.remaining < n {
+            return false;
+        }
+        self.remaining -= n;
+        true
+    }
+}
+
+pub fn score_within_budget(
+    oracle: &dyn ScoringOracle,
+    budget: &mut QueryBudget,
+    frames: &[usize],
+) -> Option<Vec<f64>> {
+    if !budget.charge(frames.len()) {
+        return None;
+    }
+    Some(oracle.score_batch(frames))
+}

@@ -1,0 +1,30 @@
+//! Lock-order fixture (fail): `accept_then_drain` takes `accept` then —
+//! through the `bump_drain` helper, which is what a per-line linter
+//! cannot see — `drain`, while `drain_then_accept` takes them in the
+//! opposite order. Two threads interleaving these deadlock.
+
+use std::sync::Mutex;
+
+pub struct Gate {
+    accept: Mutex<u32>,
+    drain: Mutex<u32>,
+}
+
+impl Gate {
+    pub fn accept_then_drain(&self) -> u32 {
+        let a = self.accept.lock().unwrap();
+        let d = self.bump_drain();
+        *a + d
+    }
+
+    fn bump_drain(&self) -> u32 {
+        let d = self.drain.lock().unwrap();
+        *d + 1
+    }
+
+    pub fn drain_then_accept(&self) -> u32 {
+        let d = self.drain.lock().unwrap();
+        let a = self.accept.lock().unwrap();
+        *d + *a
+    }
+}

@@ -1,0 +1,38 @@
+//! Lock-order fixture (pass): every path acquires `accept` before
+//! `drain`, including through the `bump_drain` helper — a consistent
+//! global order, so no cycle.
+
+use std::sync::Mutex;
+
+pub struct Gate {
+    accept: Mutex<u32>,
+    drain: Mutex<u32>,
+}
+
+impl Gate {
+    pub fn accept_then_drain(&self) -> u32 {
+        let a = self.accept.lock().unwrap();
+        let d = self.bump_drain();
+        *a + d
+    }
+
+    fn bump_drain(&self) -> u32 {
+        let d = self.drain.lock().unwrap();
+        *d + 1
+    }
+
+    pub fn drain_alone(&self) -> u32 {
+        // Fine: `accept` is not held here, so no drain → accept edge.
+        let d = self.drain.lock().unwrap();
+        *d
+    }
+
+    pub fn accept_briefly(&self) -> u32 {
+        let a = self.accept.lock().unwrap();
+        let snapshot = *a;
+        drop(a);
+        // `accept` released above — this creates no edge either.
+        let d = self.drain.lock().unwrap();
+        snapshot + *d
+    }
+}

@@ -1,0 +1,20 @@
+//! Taint fixture (fail), sink side: the canonical encoder pulls a
+//! "freshness" header that is wall-clock-derived two calls away —
+//! byte-deterministic answers absorb wall bits.
+
+pub fn canonical_output(rows: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, header_token());
+    for r in rows {
+        put_u32(&mut out, *r);
+    }
+    out
+}
+
+fn header_token() -> u32 {
+    freshness_token() as u32
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}

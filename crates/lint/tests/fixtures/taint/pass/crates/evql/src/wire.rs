@@ -1,0 +1,13 @@
+//! Canonical encoding stays clock-free: only row data reaches the bytes.
+
+pub fn canonical_output(rows: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in rows {
+        put_u32(&mut out, *r);
+    }
+    out
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}

@@ -1,0 +1,13 @@
+//! Taint fixture (pass): the wall-clock helpers exist but only feed the
+//! wall section of a metrics page — nothing on the canonical path calls
+//! them.
+
+use std::time::Instant;
+
+pub fn stamp_micros(started: Instant) -> u64 {
+    started.elapsed().as_micros() as u64
+}
+
+pub fn wall_section(started: Instant) -> String {
+    format!("uptime_us {}", stamp_micros(started))
+}

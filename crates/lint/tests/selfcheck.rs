@@ -2,7 +2,7 @@
 //! gate CI runs (`cargo lint`), expressed as a test so `cargo test -q`
 //! alone catches a violation before a PR ever reaches the lint job.
 
-use everest_lint::lint_root;
+use everest_lint::{baseline::Baseline, lint_root};
 use std::path::PathBuf;
 
 #[test]
@@ -31,4 +31,25 @@ fn workspace_is_lint_clean() {
     // sites, and slack (sites < budget) is reported by the binary, not
     // asserted here, so shrinking debt never breaks the build.
     assert!(report.panic_sites <= report.panic_budget);
+}
+
+/// The committed ratchet file must agree with a fresh run — both
+/// directions: no new findings, no stale entries. This is the same gate
+/// as CI's `lint-ratchet` job.
+#[test]
+fn workspace_matches_committed_baseline() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let text = std::fs::read_to_string(root.join("lint_baseline.json"))
+        .expect("lint_baseline.json is committed at the workspace root");
+    let base = Baseline::parse(&text).expect("committed baseline parses");
+    let report = lint_root(&root);
+    let problems = everest_lint::baseline::diff(&report.diagnostics, &base);
+    assert!(
+        problems.is_empty(),
+        "workspace drifted from lint_baseline.json:\n{}",
+        problems.join("\n")
+    );
 }

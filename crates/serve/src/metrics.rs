@@ -229,6 +229,9 @@ impl Metrics {
     /// [`WALL_CLOCK_MARKER`]. This is what determinism harnesses compare
     /// across runs.
     pub fn render_deterministic(&self) -> String {
+        // lint:allow(det-taint): render()'s wall-clock section sits below
+        // WALL_CLOCK_MARKER and is truncated away on the next line — no
+        // wall bits survive into the returned prefix.
         let full = self.render();
         match full.find(WALL_CLOCK_MARKER) {
             Some(pos) => full[..pos].to_string(),
